@@ -1,0 +1,68 @@
+// Command hdcps-bench regenerates the paper's tables and figures: it runs
+// the relevant schedulers and workloads on the simulator (or the native
+// runtime, for Fig. 10) and prints the same rows and series the paper
+// reports.
+//
+// Usage:
+//
+//	hdcps-bench -exp fig3            # one experiment
+//	hdcps-bench -exp all             # the whole evaluation section
+//	hdcps-bench -list                # available experiments
+//	hdcps-bench -exp fig8 -scale large -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hdcps/internal/exp"
+)
+
+func main() {
+	var (
+		id     = flag.String("exp", "", "experiment to run: table1, table2, fig3..fig15, or all")
+		scale  = flag.String("scale", "small", "input scale: tiny, small, large")
+		seed   = flag.Uint64("seed", 42, "deterministic seed")
+		cores  = flag.Int("cores", 40, "software-mode core count (hardware experiments always use Table I's 64)")
+		format = flag.String("format", "table", "output format: table or csv")
+		list   = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list || *id == "" {
+		fmt.Println("experiments:")
+		for _, eid := range exp.IDs() {
+			e, _ := exp.Get(eid)
+			fmt.Printf("  %-8s %s\n", eid, e.Title)
+		}
+		return
+	}
+
+	opts := exp.Options{Scale: *scale, Seed: *seed, Cores: *cores}
+	ids := []string{strings.ToLower(*id)}
+	if *id == "all" {
+		ids = exp.IDs()
+	}
+	for _, eid := range ids {
+		e, ok := exp.Get(eid)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "hdcps-bench: unknown experiment %q (use -list)\n", eid)
+			os.Exit(1)
+		}
+		start := time.Now()
+		res, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hdcps-bench: %s failed: %v\n", eid, err)
+			os.Exit(1)
+		}
+		if *format == "csv" {
+			res.FormatCSV(os.Stdout)
+		} else {
+			res.Format(os.Stdout)
+			fmt.Printf("  (%s, scale=%s, %.1fs)\n\n", eid, *scale, time.Since(start).Seconds())
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Command hdcps-run executes one (scheduler, workload, input) combination
+// on the simulator and prints its metrics: completion time, task counts,
+// work efficiency, priority drift, and the §IV-C breakdown.
+//
+// Usage:
+//
+//	hdcps-run -sched hdcps-sw -workload sssp -input road -cores 40 [-hw] [-scale small]
+//	hdcps-run -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hdcps/internal/graph"
+	"hdcps/internal/sched"
+	"hdcps/internal/sim"
+	"hdcps/internal/workload"
+)
+
+func main() {
+	var (
+		schedName = flag.String("sched", "hdcps-sw", "scheduler name (see -list)")
+		wlName    = flag.String("workload", "sssp", "workload name (see -list)")
+		input     = flag.String("input", "road", "input graph: road, cage, web, lj, grid, or a file path (.gr/.txt/.mtx)")
+		cores     = flag.Int("cores", 40, "number of simulated cores")
+		hw        = flag.Bool("hw", false, "use the Table I hardware machine (hRQ/hPQ enabled)")
+		scale     = flag.String("scale", "small", "synthetic input scale: tiny, small, large")
+		seed      = flag.Uint64("seed", 42, "deterministic seed")
+		verify    = flag.Bool("verify", true, "verify the workload result against the sequential reference")
+		list      = flag.Bool("list", false, "list schedulers and workloads, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("schedulers:", sched.Names())
+		fmt.Println("workloads: ", workload.Names())
+		fmt.Println("inputs:    road cage web lj grid, or a file path (.gr DIMACS, .txt SNAP, .mtx MatrixMarket)")
+		return
+	}
+
+	g, err := buildInput(*input, *scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	w, err := workload.New(*wlName, g)
+	if err != nil {
+		fatal(err)
+	}
+	s, err := sched.ByName(*schedName)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := sim.DefaultSW(*cores)
+	if *hw {
+		cfg = sim.DefaultHW()
+		cfg.Cores = *cores
+	}
+
+	r := s.Run(w, cfg, *seed)
+	r.SeqTasks = workload.RunSequential(w.Clone())
+
+	fmt.Printf("scheduler:       %s\n", r.Scheduler)
+	fmt.Printf("workload/input:  %s / %s (%d nodes, %d edges)\n",
+		r.Workload, r.Input, g.NumNodes(), g.NumEdges())
+	fmt.Printf("cores:           %d (%s mode)\n", r.Cores, mode(*hw))
+	fmt.Printf("completion time: %d cycles\n", r.CompletionTime)
+	fmt.Printf("tasks processed: %d (sequential needs %d, work efficiency %.3f)\n",
+		r.TasksProcessed, r.SeqTasks, r.WorkEfficiency())
+	fmt.Printf("messages sent:   %d\n", r.MessagesSent)
+	if r.BagsCreated > 0 {
+		fmt.Printf("bags created:    %d (%d tasks bagged)\n", r.BagsCreated, r.BaggedTasks)
+	}
+	if r.Aborts > 0 {
+		fmt.Printf("aborts:          %d\n", r.Aborts)
+	}
+	fmt.Printf("avg drift:       %.2f over %d samples\n", r.AvgDrift(), len(r.DriftTrace))
+	if len(r.TDFTrace) > 0 {
+		fmt.Printf("TDF trace:       %v\n", compact(r.TDFTrace, 16))
+	}
+	fmt.Printf("breakdown:       %s\n", r.Breakdown)
+
+	if *verify {
+		if err := w.Verify(); err != nil {
+			fatal(fmt.Errorf("verification FAILED: %w", err))
+		}
+		fmt.Println("verification:    OK")
+	}
+}
+
+func mode(hw bool) string {
+	if hw {
+		return "hardware"
+	}
+	return "software"
+}
+
+func compact(xs []int, max int) []int {
+	if len(xs) <= max {
+		return xs
+	}
+	return xs[:max]
+}
+
+func buildInput(name, scale string, seed uint64) (*graph.CSR, error) {
+	var roadW, cageN, webN, ljN, gridW int
+	switch scale {
+	case "tiny":
+		roadW, cageN, webN, ljN, gridW = 48, 1500, 1500, 1200, 32
+	case "small":
+		roadW, cageN, webN, ljN, gridW = 120, 8000, 8000, 6000, 64
+	case "large":
+		roadW, cageN, webN, ljN, gridW = 240, 30000, 30000, 20000, 128
+	default:
+		return nil, fmt.Errorf("unknown scale %q", scale)
+	}
+	switch name {
+	case "road":
+		return graph.Road(roadW, roadW, seed), nil
+	case "cage":
+		return graph.Cage(cageN, 34, 80, seed), nil
+	case "web":
+		return graph.Web(webN, seed), nil
+	case "lj":
+		return graph.LJ(ljN, seed), nil
+	case "grid":
+		return graph.Grid(gridW, gridW, 100, seed), nil
+	}
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, fmt.Errorf("input %q is not a builtin and not readable: %w", name, err)
+	}
+	defer f.Close()
+	switch {
+	case strings.HasSuffix(name, ".mtx"):
+		return graph.ReadMatrixMarket(name, f)
+	case strings.HasSuffix(name, ".txt"):
+		return graph.ReadSNAP(name, f)
+	default:
+		return graph.ReadDIMACS(name, f)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hdcps-run:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,45 @@
+// Road-network routing: the paper's motivating scenario. Computes shortest
+// paths over a large sparse road network under every software CPS design
+// and shows why drift awareness matters: schedulers that let core priorities
+// drift do redundant relaxations and lose time.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hdcps"
+)
+
+func main() {
+	// Sparse, high-diameter road network — the rUSA stand-in, the input
+	// class where priority drift hurts the most (§V).
+	g := hdcps.Road(160, 160, 7)
+	fmt.Printf("road network: %d intersections, %d segments\n\n", g.NumNodes(), g.NumEdges())
+
+	probe, err := hdcps.NewWorkload("sssp", g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seqTasks := hdcps.SequentialTasks(probe)
+	fmt.Printf("%-10s %12s %10s %8s %8s\n", "scheduler", "cycles", "tasks", "workeff", "drift")
+
+	for _, name := range []string{"reld", "obim", "pmod", "swminnow", "hdcps-sw"} {
+		w, err := hdcps.NewWorkload("sssp", g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, err := hdcps.NewScheduler(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		run := hdcps.RunSim(s, w, hdcps.SoftwareMachine(40), 7)
+		if err := w.Verify(); err != nil {
+			log.Fatalf("%s produced wrong distances: %v", name, err)
+		}
+		run.SeqTasks = seqTasks
+		fmt.Printf("%-10s %12d %10d %8.2f %8.2f\n",
+			name, run.CompletionTime, run.TasksProcessed, run.WorkEfficiency(), run.AvgDrift())
+	}
+	fmt.Println("\nlower drift -> fewer redundant relaxations -> faster completion (§II-B)")
+}

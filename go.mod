@@ -1,0 +1,3 @@
+module hdcps
+
+go 1.22

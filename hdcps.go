@@ -1,0 +1,158 @@
+// Package hdcps is a Go reproduction of "HD-CPS: Hardware-assisted
+// Drift-aware Concurrent Priority Scheduler for Shared Memory Multicores"
+// (Shan & Khan, HPCA 2022).
+//
+// It provides, as one library:
+//
+//   - a native goroutine-based HD-CPS runtime (per-worker receive rings,
+//     adaptive bags, drift-feedback TDF) for running task-parallel graph
+//     algorithms on real machines — see RunNative;
+//   - a deterministic multicore simulator and every concurrent priority
+//     scheduler the paper evaluates (RELD, OBIM, PMOD, Minnow in software
+//     and hardware form, Swarm, and all HD-CPS configurations) — see
+//     NewScheduler and RunSim;
+//   - the paper's six task-parallel graph workloads (SSSP, A*, BFS, MST,
+//     graph coloring, PageRank) with sequential references and verifiers —
+//     see NewWorkload;
+//   - graph generators and loaders — see the Road/Cage/Web/LJ/Grid
+//     functions and ReadDIMACS/ReadSNAP;
+//   - the full experiment harness regenerating every table and figure of
+//     the paper's evaluation — see RunExperiment and Experiments.
+//
+// The architecture and every modeling substitution are documented in
+// DESIGN.md; per-experiment paper-vs-measured results live in
+// EXPERIMENTS.md.
+package hdcps
+
+import (
+	"io"
+
+	"hdcps/internal/drift"
+	"hdcps/internal/exp"
+	"hdcps/internal/graph"
+	"hdcps/internal/runtime"
+	"hdcps/internal/sched"
+	"hdcps/internal/sim"
+	"hdcps/internal/stats"
+	"hdcps/internal/task"
+	"hdcps/internal/workload"
+)
+
+// Core re-exported types. The aliases make the internal packages' types part
+// of the public API without duplicating their documentation.
+type (
+	// Graph is a directed weighted graph in CSR form.
+	Graph = graph.CSR
+	// Task is the unit of scheduled work: a node, a priority (lower is
+	// more urgent), and a workload-defined payload.
+	Task = task.Task
+	// Workload is a task-parallel graph algorithm instance.
+	Workload = workload.Workload
+	// Scheduler executes a workload on the simulated multicore.
+	Scheduler = sched.Scheduler
+	// MachineConfig parameterizes the simulated multicore.
+	MachineConfig = sim.Config
+	// Run is the metrics record of one execution.
+	Run = stats.Run
+	// NativeConfig parameterizes the goroutine runtime.
+	NativeConfig = runtime.Config
+	// NativeResult is the goroutine runtime's metrics record.
+	NativeResult = runtime.Result
+	// DriftConfig holds the TDF controller tunables (§III-C).
+	DriftConfig = drift.Config
+	// ExperimentOptions control table/figure regeneration.
+	ExperimentOptions = exp.Options
+	// ExperimentResult is a regenerated table/figure.
+	ExperimentResult = exp.Result
+)
+
+// Graph construction.
+var (
+	// Road generates a road-network-like graph (rUSA stand-in).
+	Road = graph.Road
+	// Cage generates a banded quasi-regular graph (CAGE14 stand-in).
+	Cage = graph.Cage
+	// Web generates a power-law web graph (web-Google stand-in).
+	Web = graph.Web
+	// LJ generates a denser power-law graph (LiveJournal stand-in).
+	LJ = graph.LJ
+	// Grid generates a weighted lattice with coordinates (A* input).
+	Grid = graph.Grid
+	// ReadDIMACS parses a DIMACS shortest-path ".gr" file.
+	ReadDIMACS = graph.ReadDIMACS
+	// ReadSNAP parses a SNAP whitespace edge list.
+	ReadSNAP = graph.ReadSNAP
+	// ReadMatrixMarket parses MatrixMarket coordinate matrices (the
+	// SuiteSparse collection's format, used by the paper's CAGE14 input).
+	ReadMatrixMarket = graph.ReadMatrixMarket
+	// WriteDIMACS writes a graph in DIMACS ".gr" format.
+	WriteDIMACS = graph.WriteDIMACS
+)
+
+// NewWorkload constructs one of the paper's workloads by name: "sssp",
+// "astar", "bfs", "mst", "color", or "pagerank".
+func NewWorkload(name string, g *Graph) (Workload, error) { return workload.New(name, g) }
+
+// WorkloadNames lists the available workloads in the paper's order.
+func WorkloadNames() []string { return workload.Names() }
+
+// NewScheduler returns a scheduler by name: "seq", "reld", "obim", "pmod",
+// "swminnow", "hwminnow", "swarm", "hdcps-sw", "hdcps-hw", or an HD-CPS
+// ablation variant ("srq", "srq+tdf", "srq+tdf+ac", "hrq").
+func NewScheduler(name string) (Scheduler, error) { return sched.ByName(name) }
+
+// SchedulerNames lists the registered scheduler names.
+func SchedulerNames() []string { return sched.Names() }
+
+// SoftwareMachine returns the software-mode machine configuration (the
+// paper's Xeon-side experiments) with the given core count.
+func SoftwareMachine(cores int) MachineConfig { return sim.DefaultSW(cores) }
+
+// HardwareMachine returns the Table I machine: 64 cores, hRQ=32, hPQ=48.
+func HardwareMachine() MachineConfig { return sim.DefaultHW() }
+
+// RunSim executes a workload under a scheduler on the simulated machine and
+// returns its metrics. The same (workload, config, seed) always produces
+// identical results.
+func RunSim(s Scheduler, w Workload, cfg MachineConfig, seed uint64) Run {
+	return s.Run(w, cfg, seed)
+}
+
+// SequentialTasks runs the strict-priority sequential baseline on a fresh
+// clone of w and returns its task count (the work-efficiency denominator).
+func SequentialTasks(w Workload) int64 { return workload.RunSequential(w.Clone()) }
+
+// RunNative executes a workload on the goroutine-based HD-CPS runtime.
+func RunNative(w Workload, cfg NativeConfig) NativeResult { return runtime.Run(w, cfg) }
+
+// DefaultNativeConfig returns the paper-tuned native configuration for the
+// given worker count.
+func DefaultNativeConfig(workers int) NativeConfig { return runtime.DefaultConfig(workers) }
+
+// Experiments lists the regenerable tables and figures ("table1", "table2",
+// "fig3" ... "fig15") plus the §II ordering-spectrum extension
+// ("motivation").
+func Experiments() []string { return exp.IDs() }
+
+// RunExperiment regenerates one of the paper's tables or figures and
+// writes its formatted output to w (pass nil to skip printing).
+func RunExperiment(id string, opts ExperimentOptions, w io.Writer) (ExperimentResult, error) {
+	e, ok := exp.Get(id)
+	if !ok {
+		return ExperimentResult{}, errUnknownExperiment(id)
+	}
+	res, err := e.Run(opts)
+	if err != nil {
+		return res, err
+	}
+	if w != nil {
+		res.Format(w)
+	}
+	return res, nil
+}
+
+type errUnknownExperiment string
+
+func (e errUnknownExperiment) Error() string {
+	return "hdcps: unknown experiment " + string(e) + " (see Experiments())"
+}

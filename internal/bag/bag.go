@@ -1,0 +1,166 @@
+// Package bag implements HD-CPS's adaptive bags of tasks (§III-B,
+// Algorithm 1). Children tasks generated with the same priority are bundled
+// into a bag; only the bag's metadata travels through a core's priority
+// queue, which cuts the number of PQ operations. A runtime heuristic decides
+// per priority group whether bagging pays off: groups smaller than a minimum
+// threshold ship as individual tasks, and bags are capped so a huge bag
+// cannot bind a core while higher-priority work waits.
+package bag
+
+import "hdcps/internal/task"
+
+// Transport selects how a bag's payload reaches the consuming core (§III-B,
+// Fig. 14).
+type Transport int
+
+const (
+	// Pull stores the payload at the sender; the consumer fetches it with
+	// coherent loads when the bag's metadata is dequeued. This is HD-CPS's
+	// default: payload moves on demand and exploits locality.
+	Pull Transport = iota
+	// Push ships the payload together with the metadata at creation time.
+	Push
+)
+
+// String returns "pull" or "push".
+func (t Transport) String() string {
+	if t == Push {
+		return "push"
+	}
+	return "pull"
+}
+
+// Mode selects the bag-creation policy of a scheduler configuration.
+type Mode int
+
+const (
+	// Never disables bags entirely (the sRQ and sRQ+TDF configurations).
+	Never Mode = iota
+	// Always creates a bag for every priority group regardless of size
+	// (the paper's AC configuration).
+	Always
+	// Selective applies Algorithm 1's threshold test (the SC configuration,
+	// used by HD-CPS proper).
+	Selective
+)
+
+// String returns the configuration label used in the paper.
+func (m Mode) String() string {
+	switch m {
+	case Always:
+		return "AC"
+	case Selective:
+		return "SC"
+	default:
+		return "never"
+	}
+}
+
+// Policy holds the bag-creation thresholds.
+type Policy struct {
+	Mode Mode
+	// MinSize is the smallest priority group worth bagging (paper: 3).
+	// Groups below it ship as individual tasks.
+	MinSize int
+	// MaxSize caps a single bag (paper: <10) so a core is never bound to a
+	// huge bag while higher-priority work waits; larger groups split.
+	MaxSize int
+	// QuantShift widens the grouping: children whose priorities match in
+	// prio >> QuantShift go into the same bag (the paper bundles tasks
+	// "with approximate priorities"). 0 groups by exact priority.
+	QuantShift uint
+	// Transport selects pull or push payload delivery.
+	Transport Transport
+}
+
+// DefaultPolicy returns the paper's tuned configuration: selective creation
+// with group threshold 3, bag cap 10, two-bit priority quantization, pull
+// transport.
+func DefaultPolicy() Policy {
+	return Policy{Mode: Selective, MinSize: 3, MaxSize: 10, QuantShift: 2, Transport: Pull}
+}
+
+// Bag is a bundle of proximate-priority tasks. Only ID and Prio (the
+// metadata, one 128-bit hardware entry) enter a priority queue; Tasks is
+// the payload, held at the producer (Pull) or carried along (Push). Prio is
+// the best (smallest) priority in the bag.
+type Bag struct {
+	ID    uint64
+	Prio  int64
+	Tasks []task.Task
+}
+
+// Partition implements Algorithm 1's COUNT_PRIORITY + CREATE_BAG step: it
+// groups children by priority (preserving generation order within a group)
+// and splits them into bags and individual tasks according to the policy.
+// nextID supplies fresh bag identifiers. The returned slices do not alias
+// children, so the caller may reuse its children buffer.
+func Partition(children []task.Task, p Policy, nextID func() uint64) (bags []Bag, singles []task.Task) {
+	if p.Mode == Never || len(children) == 0 {
+		return nil, children
+	}
+	minSize, maxSize := p.MinSize, p.MaxSize
+	if p.Mode == Always {
+		minSize = 1
+	}
+	if minSize < 1 {
+		minSize = 1
+	}
+	if maxSize < minSize {
+		maxSize = minSize
+	}
+	// Group by quantized priority, preserving order within a group.
+	// Children lists are tiny (bounded by node degree), so a simple map of
+	// slices is fine.
+	groups := make(map[int64][]task.Task, 8)
+	order := make([]int64, 0, 8) // deterministic iteration order
+	for _, c := range children {
+		k := c.Prio >> p.QuantShift
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], c)
+	}
+	for _, key := range order {
+		g := groups[key]
+		if len(g) < minSize {
+			singles = append(singles, g...)
+			continue
+		}
+		for len(g) > 0 {
+			n := len(g)
+			if n > maxSize {
+				n = maxSize
+			}
+			if n < minSize {
+				// Remainder smaller than the threshold: ship individually,
+				// matching Algorithm 1's "else SEND(task)" branch.
+				singles = append(singles, g...)
+				break
+			}
+			bags = append(bags, Bag{ID: nextID(), Prio: minPrio(g[:n]), Tasks: g[:n]})
+			g = g[n:]
+		}
+	}
+	return bags, singles
+}
+
+func minPrio(ts []task.Task) int64 {
+	m := ts[0].Prio
+	for _, t := range ts[1:] {
+		if t.Prio < m {
+			m = t.Prio
+		}
+	}
+	return m
+}
+
+// Counter is a trivial bag-ID allocator for single-threaded contexts such
+// as the simulator.
+type Counter uint64
+
+// Next returns a fresh ID.
+func (c *Counter) Next() uint64 {
+	*c++
+	return uint64(*c)
+}

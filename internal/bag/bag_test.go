@@ -1,0 +1,199 @@
+package bag
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hdcps/internal/task"
+)
+
+func mkTasks(prios ...int64) []task.Task {
+	ts := make([]task.Task, len(prios))
+	for i, p := range prios {
+		ts[i] = task.Task{Node: uint32(i), Prio: p}
+	}
+	return ts
+}
+
+func TestPartitionNever(t *testing.T) {
+	var c Counter
+	children := mkTasks(1, 1, 1, 1, 2)
+	bags, singles := Partition(children, Policy{Mode: Never}, c.Next)
+	if len(bags) != 0 || len(singles) != 5 {
+		t.Fatalf("Never mode bagged: %d bags %d singles", len(bags), len(singles))
+	}
+}
+
+func TestPartitionSelective(t *testing.T) {
+	var c Counter
+	p := DefaultPolicy() // min 3, max 10
+	p.QuantShift = 0     // exact grouping for a hand-checkable case
+	// 4 tasks at prio 1 (bag), 2 at prio 2 (singles), 1 at prio 3 (single).
+	children := mkTasks(1, 1, 2, 1, 3, 2, 1)
+	bags, singles := Partition(children, p, c.Next)
+	if len(bags) != 1 {
+		t.Fatalf("got %d bags, want 1", len(bags))
+	}
+	if bags[0].Prio != 1 || len(bags[0].Tasks) != 4 {
+		t.Fatalf("bag = prio %d size %d", bags[0].Prio, len(bags[0].Tasks))
+	}
+	if len(singles) != 3 {
+		t.Fatalf("got %d singles, want 3", len(singles))
+	}
+	for _, s := range singles {
+		if s.Prio == 1 {
+			t.Fatalf("prio-1 task leaked into singles: %v", s)
+		}
+	}
+}
+
+func TestPartitionAlways(t *testing.T) {
+	var c Counter
+	p := DefaultPolicy()
+	p.Mode = Always
+	p.QuantShift = 0
+	children := mkTasks(1, 2, 2, 3)
+	bags, singles := Partition(children, p, c.Next)
+	if len(singles) != 0 {
+		t.Fatalf("Always mode left %d singles", len(singles))
+	}
+	if len(bags) != 3 {
+		t.Fatalf("got %d bags, want 3 (one per priority)", len(bags))
+	}
+}
+
+func TestPartitionMaxSizeSplit(t *testing.T) {
+	var c Counter
+	p := Policy{Mode: Selective, MinSize: 3, MaxSize: 10}
+	children := make([]task.Task, 25) // all prio 0
+	bags, singles := Partition(children, p, c.Next)
+	// 25 = 10 + 10 + 5(>=3, so a third bag).
+	if len(bags) != 3 || len(singles) != 0 {
+		t.Fatalf("got %d bags %d singles", len(bags), len(singles))
+	}
+	if len(bags[0].Tasks) != 10 || len(bags[1].Tasks) != 10 || len(bags[2].Tasks) != 5 {
+		t.Fatalf("split sizes: %d %d %d", len(bags[0].Tasks), len(bags[1].Tasks), len(bags[2].Tasks))
+	}
+}
+
+func TestPartitionRemainderBelowMin(t *testing.T) {
+	var c Counter
+	p := Policy{Mode: Selective, MinSize: 3, MaxSize: 10}
+	children := make([]task.Task, 12) // 10 + 2: remainder below MinSize
+	bags, singles := Partition(children, p, c.Next)
+	if len(bags) != 1 || len(bags[0].Tasks) != 10 {
+		t.Fatalf("got %d bags", len(bags))
+	}
+	if len(singles) != 2 {
+		t.Fatalf("remainder should ship individually, got %d singles", len(singles))
+	}
+}
+
+func TestPartitionQuantized(t *testing.T) {
+	// With the default 2-bit quantization, priorities 4..7 share a bag and
+	// the bag carries the group's best priority.
+	var c Counter
+	bags, singles := Partition(mkTasks(7, 4, 5, 20, 6), DefaultPolicy(), c.Next)
+	if len(bags) != 1 || len(singles) != 1 {
+		t.Fatalf("got %d bags %d singles, want 1/1", len(bags), len(singles))
+	}
+	if bags[0].Prio != 4 || len(bags[0].Tasks) != 4 {
+		t.Fatalf("bag prio=%d size=%d, want 4/4", bags[0].Prio, len(bags[0].Tasks))
+	}
+	if singles[0].Prio != 20 {
+		t.Fatalf("single prio=%d, want 20", singles[0].Prio)
+	}
+}
+
+func TestPartitionUniqueIDs(t *testing.T) {
+	var c Counter
+	p := DefaultPolicy()
+	p.Mode = Always
+	children := mkTasks(1, 1, 2, 2, 3, 3)
+	bags, _ := Partition(children, p, c.Next)
+	seen := map[uint64]bool{}
+	for _, b := range bags {
+		if seen[b.ID] {
+			t.Fatalf("duplicate bag ID %d", b.ID)
+		}
+		seen[b.ID] = true
+	}
+}
+
+func TestPartitionEmpty(t *testing.T) {
+	var c Counter
+	bags, singles := Partition(nil, DefaultPolicy(), c.Next)
+	if bags != nil || singles != nil {
+		t.Fatalf("empty input produced output: %v %v", bags, singles)
+	}
+}
+
+// TestPartitionConservation: every child ends up in exactly one bag or in
+// singles, bags are homogeneous in priority and within policy bounds.
+func TestPartitionConservation(t *testing.T) {
+	err := quick.Check(func(raw []uint8, mode uint8) bool {
+		var c Counter
+		p := DefaultPolicy()
+		p.Mode = Mode(mode % 3)
+		children := make([]task.Task, len(raw))
+		for i, r := range raw {
+			children[i] = task.Task{Node: uint32(i), Prio: int64(r % 7)}
+		}
+		bags, singles := Partition(children, p, c.Next)
+		total := len(singles)
+		for _, b := range bags {
+			total += len(b.Tasks)
+			if len(b.Tasks) > p.MaxSize && p.Mode != Always {
+				return false
+			}
+			for _, tk := range b.Tasks {
+				if tk.Prio>>p.QuantShift != b.Tasks[0].Prio>>p.QuantShift {
+					return false // bag spans quantization buckets
+				}
+				if tk.Prio < b.Prio {
+					return false // bag priority must be its best task's
+				}
+			}
+			if p.Mode == Selective && len(b.Tasks) < p.MinSize {
+				return false
+			}
+		}
+		if total != len(children) {
+			return false // lost or duplicated a task
+		}
+		// Node IDs (unique here) must be conserved as a set.
+		seen := make(map[uint32]bool, len(children))
+		mark := func(tk task.Task) bool {
+			if seen[tk.Node] {
+				return false
+			}
+			seen[tk.Node] = true
+			return true
+		}
+		for _, s := range singles {
+			if !mark(s) {
+				return false
+			}
+		}
+		for _, b := range bags {
+			for _, tk := range b.Tasks {
+				if !mark(tk) {
+					return false
+				}
+			}
+		}
+		return len(seen) == len(children)
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransportString(t *testing.T) {
+	if Pull.String() != "pull" || Push.String() != "push" {
+		t.Fatal("transport names wrong")
+	}
+	if Never.String() != "never" || Always.String() != "AC" || Selective.String() != "SC" {
+		t.Fatal("mode names wrong")
+	}
+}

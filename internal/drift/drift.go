@@ -1,0 +1,211 @@
+// Package drift implements the paper's central signal and heuristic:
+// priority drift (Equation 1) and the feedback-driven task-distribution-
+// factor controller (Algorithms 2 and 3, §III-C), plus the dynamic-oracle
+// TDF search used as the heuristic's upper bound (§III-C, Fig. 12).
+package drift
+
+// Drift computes Equation 1 over one interval's per-core priority reports:
+// the mean absolute difference between each core's latest task priority and
+// the reference priority. ref should be the globally highest priority (the
+// numerically smallest report); Reports' callers typically pass
+// MinReference(reports).
+func Drift(reports []int64, ref int64) float64 {
+	if len(reports) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range reports {
+		d := p - ref
+		if d < 0 {
+			d = -d
+		}
+		sum += float64(d)
+	}
+	return sum / float64(len(reports))
+}
+
+// MinReference returns the highest priority (smallest value) among the
+// reports, the paper's P0. It returns 0 for an empty slice.
+func MinReference(reports []int64) int64 {
+	if len(reports) == 0 {
+		return 0
+	}
+	ref := reports[0]
+	for _, p := range reports[1:] {
+		if p < ref {
+			ref = p
+		}
+	}
+	return ref
+}
+
+// Decision records whether the controller last moved the TDF up or down.
+type Decision int
+
+const (
+	// Increase means the adjustment raised (or will raise) the TDF. It is
+	// the zero value, making it Config.OnImprove's default.
+	Increase Decision = iota
+	// Decrease means the adjustment lowered (or will lower) the TDF.
+	Decrease
+)
+
+// Config holds the controller's tunable parameters, with the paper's
+// empirically chosen defaults (§V-E, Fig. 13).
+type Config struct {
+	// InitialTDF is the task distribution factor (percent of enqueues sent
+	// to random remote cores) used before the first feedback. Paper: 50.
+	InitialTDF int
+	// Step is the TDF change per interval, in percentage points. Paper: 10.
+	Step int
+	// MinTDF and MaxTDF bound the controller. The paper notes TDF must stay
+	// non-zero so distribution keeps load-balancing the cores.
+	MinTDF, MaxTDF int
+	// SampleInterval is the number of tasks a core processes between
+	// reports to the master core (Algorithm 3's send_threshold). The paper
+	// uses 2000 on billion-task runs; the default here is 200 so that a
+	// reduced-scale run still gives the controller a comparable number of
+	// feedback updates (Fig. 13A sweeps this parameter).
+	SampleInterval int
+	// OnImprove selects the adjustment applied when drift improves.
+	// Algorithm 2's pseudocode and its prose contradict each other here
+	// (see the Controller comment); the default, Increase, follows the
+	// prose and keeps distribution load-balancing the cores.
+	OnImprove Decision
+}
+
+// DefaultConfig returns the paper's tuned parameters.
+func DefaultConfig() Config {
+	return Config{
+		InitialTDF: 50, Step: 10, MinTDF: 5, MaxTDF: 95,
+		SampleInterval: 200, OnImprove: Increase,
+	}
+}
+
+// sanitized fills zero fields with defaults so a partially specified Config
+// behaves sensibly.
+func (c Config) sanitized() Config {
+	d := DefaultConfig()
+	if c.InitialTDF <= 0 {
+		c.InitialTDF = d.InitialTDF
+	}
+	if c.Step <= 0 {
+		c.Step = d.Step
+	}
+	if c.MaxTDF <= 0 {
+		c.MaxTDF = d.MaxTDF
+	}
+	if c.MinTDF <= 0 {
+		c.MinTDF = d.MinTDF
+	}
+	if c.MinTDF > c.MaxTDF {
+		c.MinTDF = c.MaxTDF
+	}
+	if c.SampleInterval <= 0 {
+		c.SampleInterval = d.SampleInterval
+	}
+	return c
+}
+
+// Controller is the feedback TDF heuristic of Algorithm 2. Each sampling
+// interval the master core feeds it the cores' priority reports; the
+// controller compares the interval's drift with the previous one and nudges
+// the TDF one step up or down.
+//
+// Note on Algorithm 2: the paper's prose for the improving-drift case
+// contradicts its pseudocode (the prose says the TDF "is always increased",
+// the pseudocode decreases it). Config.OnImprove selects the reading; the
+// default follows the prose — improving drift raises the TDF — because the
+// paper also stresses that distribution must keep load-balancing the cores,
+// and the pseudocode reading starves concentrated workloads by walking the
+// TDF to its floor. The worsening-drift cases steer it back either way.
+//
+// Controller is not safe for concurrent use; in HD-CPS only the master core
+// updates it (the heuristic is non-blocking for all other cores, which keep
+// using the previous TDF until the new value propagates).
+type Controller struct {
+	cfg      Config
+	tdf      int
+	pdPrev   float64
+	havePrev bool
+	prev     Decision
+	history  []Record
+}
+
+// Record is one interval's controller state, kept for drift traces and the
+// oracle comparison.
+type Record struct {
+	Drift float64
+	TDF   int
+}
+
+// NewController returns a controller with cfg (zero fields take defaults).
+func NewController(cfg Config) *Controller {
+	c := cfg.sanitized()
+	return &Controller{cfg: c, tdf: clamp(c.InitialTDF, c.MinTDF, c.MaxTDF), prev: Increase}
+}
+
+// Config returns the sanitized configuration in effect.
+func (c *Controller) Config() Config { return c.cfg }
+
+// TDF returns the current task distribution factor in percent.
+func (c *Controller) TDF() int { return c.tdf }
+
+// History returns the per-interval drift and TDF records accumulated so far.
+func (c *Controller) History() []Record { return c.history }
+
+// Update runs one Algorithm 2 step from the cores' priority reports and
+// returns the TDF for the next interval.
+func (c *Controller) Update(reports []int64) int {
+	pd := Drift(reports, MinReference(reports))
+	return c.UpdateDrift(pd)
+}
+
+// UpdateDrift is Update for callers that have already computed the drift.
+func (c *Controller) UpdateDrift(pd float64) int {
+	defer func() {
+		c.history = append(c.history, Record{Drift: pd, TDF: c.tdf})
+		c.pdPrev = pd
+		c.havePrev = true
+	}()
+	if !c.havePrev {
+		return c.tdf // first interval: nothing to compare against
+	}
+	switch {
+	case pd >= c.pdPrev && c.prev == Increase:
+		// Drift worsened after raising TDF: more communication did not
+		// help, back off (Alg. 2 lines 5-7).
+		c.setTDF(c.tdf - c.cfg.Step)
+		c.prev = Decrease
+	case pd >= c.pdPrev && c.prev == Decrease:
+		// Drift worsened after lowering TDF: restore communication
+		// (Alg. 2 lines 8-10).
+		c.setTDF(c.tdf + c.cfg.Step)
+		c.prev = Increase
+	default: // pd < pdPrev
+		// Drift improving: apply the configured reading of Alg. 2
+		// lines 11-13 (see the type comment).
+		if c.cfg.OnImprove == Increase {
+			c.setTDF(c.tdf + c.cfg.Step)
+			c.prev = Increase
+		} else {
+			c.setTDF(c.tdf - c.cfg.Step)
+			c.prev = Decrease
+		}
+	}
+	return c.tdf
+}
+
+func (c *Controller) setTDF(v int) {
+	c.tdf = clamp(v, c.cfg.MinTDF, c.cfg.MaxTDF)
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

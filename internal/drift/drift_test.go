@@ -1,0 +1,237 @@
+package drift
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDriftEquation(t *testing.T) {
+	// Eq. 1: mean absolute difference to the reference.
+	reports := []int64{10, 12, 10, 18}
+	ref := MinReference(reports)
+	if ref != 10 {
+		t.Fatalf("ref = %d", ref)
+	}
+	got := Drift(reports, ref)
+	want := (0.0 + 2 + 0 + 8) / 4
+	if got != want {
+		t.Fatalf("drift = %v, want %v", got, want)
+	}
+}
+
+func TestDriftEdgeCases(t *testing.T) {
+	if Drift(nil, 0) != 0 {
+		t.Fatal("empty drift should be 0")
+	}
+	if MinReference(nil) != 0 {
+		t.Fatal("empty reference should be 0")
+	}
+	if d := Drift([]int64{7, 7, 7}, 7); d != 0 {
+		t.Fatalf("uniform reports drift = %v", d)
+	}
+	// Reference below all reports still yields non-negative drift.
+	if d := Drift([]int64{5, 9}, 3); d != 4 {
+		t.Fatalf("drift = %v, want 4", d)
+	}
+}
+
+func TestDriftNonNegativeProperty(t *testing.T) {
+	err := quick.Check(func(raw []int32) bool {
+		reports := make([]int64, len(raw))
+		for i, r := range raw {
+			reports[i] = int64(r)
+		}
+		return Drift(reports, MinReference(reports)) >= 0
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestControllerDefaults(t *testing.T) {
+	c := NewController(Config{})
+	cfg := c.Config()
+	if cfg.InitialTDF != 50 || cfg.Step != 10 || cfg.SampleInterval != 200 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+	if c.TDF() != 50 {
+		t.Fatalf("initial TDF = %d", c.TDF())
+	}
+}
+
+func TestControllerFirstIntervalHolds(t *testing.T) {
+	c := NewController(Config{InitialTDF: 40})
+	if got := c.UpdateDrift(100); got != 40 {
+		t.Fatalf("first interval changed TDF to %d", got)
+	}
+}
+
+// TestControllerAlgorithm2 walks the three branches of Algorithm 2 under
+// the pseudocode reading (OnImprove: Decrease).
+func TestControllerAlgorithm2(t *testing.T) {
+	c := NewController(Config{InitialTDF: 50, Step: 10, OnImprove: Decrease})
+	c.UpdateDrift(100) // prime pd_prev; TDF stays 50, prev=Increase
+
+	// Branch lines 5-7: drift worsened after an increase -> decrease.
+	if got := c.UpdateDrift(120); got != 40 {
+		t.Fatalf("worsen-after-increase: TDF = %d, want 40", got)
+	}
+	// Branch lines 8-10: drift worsened after a decrease -> increase.
+	if got := c.UpdateDrift(140); got != 50 {
+		t.Fatalf("worsen-after-decrease: TDF = %d, want 50", got)
+	}
+	// Branch lines 11-13: drift improving -> decrease.
+	if got := c.UpdateDrift(90); got != 40 {
+		t.Fatalf("improving: TDF = %d, want 40", got)
+	}
+	// Improving again -> keep decreasing.
+	if got := c.UpdateDrift(80); got != 30 {
+		t.Fatalf("improving again: TDF = %d, want 30", got)
+	}
+}
+
+func TestControllerImproveIncreases(t *testing.T) {
+	// Default (prose) reading: improving drift raises the TDF.
+	c := NewController(Config{InitialTDF: 50, Step: 10})
+	c.UpdateDrift(100)
+	if got := c.UpdateDrift(50); got != 60 {
+		t.Fatalf("improving drift: TDF = %d, want 60", got)
+	}
+	if got := c.UpdateDrift(20); got != 70 {
+		t.Fatalf("improving again: TDF = %d, want 70", got)
+	}
+	// Worsening after the increases backs off.
+	if got := c.UpdateDrift(90); got != 60 {
+		t.Fatalf("worsening: TDF = %d, want 60", got)
+	}
+}
+
+func TestControllerClamping(t *testing.T) {
+	c := NewController(Config{InitialTDF: 10, Step: 30, MinTDF: 5, MaxTDF: 95, OnImprove: Decrease})
+	c.UpdateDrift(10)
+	// Improving drift repeatedly: TDF must not go below MinTDF.
+	for d := 9.0; d > 0; d-- {
+		c.UpdateDrift(d)
+	}
+	if c.TDF() != 5 {
+		t.Fatalf("TDF = %d, want clamp at 5", c.TDF())
+	}
+	// Oscillate worsening: must not exceed MaxTDF.
+	c2 := NewController(Config{InitialTDF: 90, Step: 50, MinTDF: 5, MaxTDF: 95})
+	c2.UpdateDrift(1)
+	c2.UpdateDrift(2) // worsen after (implicit) increase -> decrease to 40
+	c2.UpdateDrift(3) // worsen after decrease -> increase to 90
+	c2.UpdateDrift(4) // worsen after increase -> decrease
+	c2.UpdateDrift(5) // worsen after decrease -> increase, clamped
+	if c2.TDF() > 95 {
+		t.Fatalf("TDF = %d exceeds max", c2.TDF())
+	}
+}
+
+func TestControllerBoundsProperty(t *testing.T) {
+	err := quick.Check(func(drifts []float64, init, step uint8) bool {
+		cfg := Config{InitialTDF: int(init%100) + 1, Step: int(step%30) + 1}
+		c := NewController(cfg)
+		for _, d := range drifts {
+			if d < 0 {
+				d = -d
+			}
+			tdf := c.UpdateDrift(d)
+			if tdf < c.Config().MinTDF || tdf > c.Config().MaxTDF {
+				return false
+			}
+		}
+		return len(c.History()) == len(drifts)
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestControllerHistory(t *testing.T) {
+	c := NewController(Config{})
+	c.UpdateDrift(5)
+	c.UpdateDrift(7)
+	h := c.History()
+	if len(h) != 2 || h[0].Drift != 5 || h[1].Drift != 7 {
+		t.Fatalf("history = %+v", h)
+	}
+	if h[0].TDF != 50 {
+		t.Fatalf("first record TDF = %d", h[0].TDF)
+	}
+}
+
+func TestUpdateUsesEquation1(t *testing.T) {
+	c := NewController(Config{})
+	c.Update([]int64{3, 5, 7}) // drift (0+2+4)/3 = 2
+	if h := c.History(); len(h) != 1 || h[0].Drift != 2 {
+		t.Fatalf("history = %+v", h)
+	}
+}
+
+func TestOracleFindsBestConstant(t *testing.T) {
+	// Completion time is minimized at TDF 30 in every interval.
+	eval := func(schedule []int) float64 {
+		var cost float64
+		for _, tdf := range schedule {
+			d := float64(tdf - 30)
+			cost += d * d
+		}
+		return cost
+	}
+	got := Oracle(4, []int{10, 30, 50, 70, 90}, eval)
+	if len(got) != 4 {
+		t.Fatalf("schedule length %d", len(got))
+	}
+	for i, tdf := range got {
+		if tdf != 30 {
+			t.Fatalf("interval %d chose %d, want 30", i, tdf)
+		}
+	}
+}
+
+func TestOraclePhaseChange(t *testing.T) {
+	// Intervals 0-1 favor high TDF, 2-3 favor low: the oracle must adapt
+	// per interval, which is exactly its advantage over one static TDF.
+	eval := func(schedule []int) float64 {
+		var cost float64
+		for i, tdf := range schedule {
+			want := 90
+			if i >= 2 {
+				want = 10
+			}
+			d := float64(tdf - want)
+			cost += d * d
+		}
+		return cost
+	}
+	got := Oracle(4, []int{10, 50, 90}, eval)
+	want := []int{90, 90, 10, 10}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("schedule = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestOracleEdgeCases(t *testing.T) {
+	if Oracle(0, []int{1}, func([]int) float64 { return 0 }) != nil {
+		t.Fatal("zero intervals should return nil")
+	}
+	if Oracle(3, nil, func([]int) float64 { return 0 }) != nil {
+		t.Fatal("no candidates should return nil")
+	}
+}
+
+func TestFixedSchedule(t *testing.T) {
+	f := FixedSchedule([]int{10, 20, 30}, 99)
+	for i, want := range []int{10, 20, 30, 30, 30} {
+		if got := f(i); got != want {
+			t.Fatalf("f(%d) = %d, want %d", i, got, want)
+		}
+	}
+	empty := FixedSchedule(nil, 42)
+	if empty(0) != 42 || empty(7) != 42 {
+		t.Fatal("empty schedule should use fallback")
+	}
+}

@@ -1,0 +1,44 @@
+package drift
+
+// Oracle implements the paper's dynamic-oracle TDF search (§III-C): for each
+// sampling interval in turn it sweeps all candidate TDF values while keeping
+// the already-decided prefix fixed, keeps the best, and moves on. The result
+// is a per-interval TDF schedule that the adaptive heuristic is compared
+// against (Fig. 12). Eval runs the whole workload with the given schedule
+// (intervals beyond the schedule keep its last value) and returns completion
+// time; lower is better.
+func Oracle(intervals int, candidates []int, eval func(schedule []int) float64) []int {
+	if intervals <= 0 || len(candidates) == 0 {
+		return nil
+	}
+	schedule := make([]int, 0, intervals)
+	for i := 0; i < intervals; i++ {
+		best := candidates[0]
+		bestTime := 0.0
+		haveBest := false
+		for _, cand := range candidates {
+			trial := append(append([]int(nil), schedule...), cand)
+			t := eval(trial)
+			if !haveBest || t < bestTime {
+				best, bestTime, haveBest = cand, t, true
+			}
+		}
+		schedule = append(schedule, best)
+	}
+	return schedule
+}
+
+// FixedSchedule returns a Provider that replays a per-interval schedule,
+// holding the last value once the schedule is exhausted. It is how a
+// scheduler runs under oracle control instead of the adaptive controller.
+func FixedSchedule(schedule []int, fallback int) func(interval int) int {
+	return func(interval int) int {
+		if len(schedule) == 0 {
+			return fallback
+		}
+		if interval < len(schedule) {
+			return schedule[interval]
+		}
+		return schedule[len(schedule)-1]
+	}
+}

@@ -1,0 +1,145 @@
+// Package exp is the experiment harness: one registered experiment per
+// table and figure in the paper's evaluation (Table I, Table II, Figures
+// 3-15). Each experiment re-runs the relevant schedulers on the simulator
+// (or the native runtime, for Fig. 10) and prints the same rows/series the
+// paper reports, normalized the same way. DESIGN.md carries the experiment
+// index; EXPERIMENTS.md records paper-vs-measured values.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Options control an experiment run.
+type Options struct {
+	// Scale selects input sizes: "tiny" (CI/benches), "small" (default),
+	// or "large" (longer, closer separation to the paper's trends).
+	Scale string
+	// Seed drives every random choice; same seed, same numbers.
+	Seed uint64
+	// Cores overrides the software-mode core count (default 40, the Xeon).
+	Cores int
+}
+
+func (o Options) normalized() Options {
+	if o.Scale == "" {
+		o.Scale = "small"
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.Cores == 0 {
+		o.Cores = 40
+	}
+	return o
+}
+
+// Row is one labeled row of an experiment's output (typically a
+// workload-input pair, or a parameter value for sweeps).
+type Row struct {
+	Label  string
+	Values map[string]float64
+}
+
+// Result is an experiment's structured output.
+type Result struct {
+	ID     string
+	Title  string
+	Series []string // column order
+	Rows   []Row
+	Notes  []string
+}
+
+// Experiment is a registered table/figure reproduction.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) (Result, error)
+}
+
+var registry = map[string]Experiment{}
+var order []string
+
+func register(e Experiment) {
+	registry[e.ID] = e
+	order = append(order, e.ID)
+}
+
+// Get returns the experiment with the given ID (e.g. "fig3", "table2").
+func Get(id string) (Experiment, bool) {
+	e, ok := registry[strings.ToLower(id)]
+	return e, ok
+}
+
+// IDs returns the registered experiment IDs in paper order.
+func IDs() []string {
+	return append([]string(nil), order...)
+}
+
+// Format renders r as an aligned text table.
+func (r Result) Format(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	if len(r.Rows) > 0 {
+		fmt.Fprintf(w, "%-22s", "")
+		for _, s := range r.Series {
+			fmt.Fprintf(w, " %12s", s)
+		}
+		fmt.Fprintln(w)
+		for _, row := range r.Rows {
+			fmt.Fprintf(w, "%-22s", row.Label)
+			for _, s := range r.Series {
+				if v, ok := row.Values[s]; ok {
+					fmt.Fprintf(w, " %12.3f", v)
+				} else {
+					fmt.Fprintf(w, " %12s", "-")
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+}
+
+// FormatCSV renders r as CSV (label column first, then the series).
+func (r Result) FormatCSV(w io.Writer) {
+	fmt.Fprintf(w, "label")
+	for _, s := range r.Series {
+		fmt.Fprintf(w, ",%s", s)
+	}
+	fmt.Fprintln(w)
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%s", row.Label)
+		for _, s := range r.Series {
+			if v, ok := row.Values[s]; ok {
+				fmt.Fprintf(w, ",%g", v)
+			} else {
+				fmt.Fprintf(w, ",")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// geomeanRow appends a geometric-mean row over the existing rows.
+func geomeanRow(res *Result) {
+	g := Row{Label: "geomean", Values: map[string]float64{}}
+	for _, s := range res.Series {
+		var logs float64
+		n := 0
+		for _, row := range res.Rows {
+			if v, ok := row.Values[s]; ok && v > 0 {
+				logs += math.Log(v)
+				n++
+			}
+		}
+		if n > 0 {
+			g.Values[s] = math.Exp(logs / float64(n))
+		}
+	}
+	res.Rows = append(res.Rows, g)
+}

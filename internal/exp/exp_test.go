@@ -1,0 +1,149 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func tinyOpts() Options { return Options{Scale: "tiny", Seed: 7, Cores: 8} }
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7",
+		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+		"motivation"}
+	ids := IDs()
+	if len(ids) != len(want) {
+		t.Fatalf("registered %d experiments, want %d", len(ids), len(want))
+	}
+	for i, id := range want {
+		if ids[i] != id {
+			t.Fatalf("IDs()[%d] = %s, want %s", i, ids[i], id)
+		}
+		if _, ok := Get(id); !ok {
+			t.Fatalf("Get(%q) missing", id)
+		}
+	}
+	if _, ok := Get("fig99"); ok {
+		t.Fatal("unknown experiment should be absent")
+	}
+}
+
+func TestScaleValidation(t *testing.T) {
+	if _, err := inputs(Options{Scale: "bogus", Seed: 1}); err == nil {
+		t.Fatal("bogus scale should error")
+	}
+}
+
+func TestTables(t *testing.T) {
+	for _, id := range []string{"table1", "table2"} {
+		e, _ := Get(id)
+		res, err := e.Run(tinyOpts())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(res.Rows) == 0 {
+			t.Fatalf("%s: no rows", id)
+		}
+		var buf bytes.Buffer
+		res.Format(&buf)
+		if !strings.Contains(buf.String(), res.Title) {
+			t.Fatalf("%s: Format missing title", id)
+		}
+	}
+}
+
+// TestEveryFigureRunsAtTinyScale executes the full figure suite at tiny
+// scale — the end-to-end proof that every experiment regenerates without
+// error and with verified workload results.
+func TestEveryFigureRunsAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure suite is slow; run without -short")
+	}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, _ := Get(id)
+			res, err := e.Run(tinyOpts())
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if len(res.Rows) == 0 {
+				t.Fatalf("%s: no rows", id)
+			}
+			for _, row := range res.Rows {
+				for s, v := range row.Values {
+					if v < 0 {
+						t.Errorf("%s %s/%s: negative value %v", id, row.Label, s, v)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestFig3Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	// Shapes hold at the paper's design point: 40 cores with inputs big
+	// enough that the task frontier does not starve pull schedulers.
+	e, _ := Get("fig3")
+	res, err := e.Run(Options{Scale: "small", Seed: 42, Cores: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm := res.Rows[len(res.Rows)-1] // geomean row
+	if gm.Label != "geomean" {
+		t.Fatalf("last row is %q", gm.Label)
+	}
+	// Headline shape: RELD slower than PMOD (>1), HD-CPS:SW faster (<1).
+	if gm.Values["reld"] <= 1.0 {
+		t.Errorf("RELD geomean %v, expected > 1 (slower than PMOD)", gm.Values["reld"])
+	}
+	if gm.Values["hdcps-sw"] >= 1.0 {
+		t.Errorf("HD-CPS:SW geomean %v, expected < 1 (faster than PMOD)", gm.Values["hdcps-sw"])
+	}
+	if gm.Values["hdcps-sw"] >= gm.Values["reld"] {
+		t.Errorf("HD-CPS:SW (%v) not better than RELD (%v)", gm.Values["hdcps-sw"], gm.Values["reld"])
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	e, _ := Get("fig6")
+	res, err := e.Run(Options{Scale: "small", Seed: 42, Cores: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm := res.Rows[len(res.Rows)-1]
+	if gm.Values["hrq+hpq"] >= 1.0 {
+		t.Errorf("hRQ+hPQ geomean %v, expected < 1 (faster than SW)", gm.Values["hrq+hpq"])
+	}
+	if gm.Values["hrq+hpq"] > gm.Values["hrq"] {
+		t.Errorf("hRQ+hPQ (%v) not at least as good as hRQ alone (%v)",
+			gm.Values["hrq+hpq"], gm.Values["hrq"])
+	}
+}
+
+func TestInputCaching(t *testing.T) {
+	o := tinyOpts().normalized()
+	a, err := inputs(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := inputs(o)
+	if a != b {
+		t.Fatal("input set not cached")
+	}
+	n1, err := a.seqTasks(o, Pair{"sssp", "road"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, _ := a.seqTasks(o, Pair{"sssp", "road"})
+	if n1 != n2 || n1 <= 0 {
+		t.Fatalf("seq task caching broken: %d vs %d", n1, n2)
+	}
+}

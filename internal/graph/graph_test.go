@@ -1,0 +1,379 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromEdgesBasic(t *testing.T) {
+	edges := []Edge{{0, 1, 5}, {0, 2, 7}, {2, 0, 1}, {1, 2, 3}}
+	g, err := FromEdges("t", 3, edges)
+	if err != nil {
+		t.Fatalf("FromEdges: %v", err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 4 {
+		t.Fatalf("got %d nodes %d edges, want 3 and 4", g.NumNodes(), g.NumEdges())
+	}
+	dsts, wts := g.Neighbors(0)
+	if len(dsts) != 2 || dsts[0] != 1 || dsts[1] != 2 || wts[0] != 5 || wts[1] != 7 {
+		t.Fatalf("node 0 neighbors = %v %v", dsts, wts)
+	}
+	if g.OutDegree(1) != 1 || g.OutDegree(2) != 1 {
+		t.Fatalf("degrees wrong: %d %d", g.OutDegree(1), g.OutDegree(2))
+	}
+}
+
+func TestFromEdgesOutOfRange(t *testing.T) {
+	if _, err := FromEdges("t", 2, []Edge{{0, 2, 1}}); err == nil {
+		t.Fatal("expected error for out-of-range destination")
+	}
+	if _, err := FromEdges("t", 2, []Edge{{5, 0, 1}}); err == nil {
+		t.Fatal("expected error for out-of-range source")
+	}
+}
+
+func TestFromEdgesEmpty(t *testing.T) {
+	g, err := FromEdges("empty", 4, nil)
+	if err != nil {
+		t.Fatalf("FromEdges: %v", err)
+	}
+	if g.NumNodes() != 4 || g.NumEdges() != 0 {
+		t.Fatalf("got %d/%d", g.NumNodes(), g.NumEdges())
+	}
+	for u := 0; u < 4; u++ {
+		if g.OutDegree(NodeID(u)) != 0 {
+			t.Fatalf("node %d has edges", u)
+		}
+	}
+}
+
+func TestReversePreservesEdges(t *testing.T) {
+	g := Web(500, 1)
+	rg := g.Reverse()
+	if rg.NumEdges() != g.NumEdges() || rg.NumNodes() != g.NumNodes() {
+		t.Fatalf("reverse changed size: %d/%d vs %d/%d",
+			rg.NumNodes(), rg.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	// Every edge u->v in g must appear as v->u in rg with the same weight.
+	type key struct {
+		u, v NodeID
+		w    uint32
+	}
+	fwd := map[key]int{}
+	for u := 0; u < g.NumNodes(); u++ {
+		dsts, wts := g.Neighbors(NodeID(u))
+		for i, v := range dsts {
+			fwd[key{NodeID(u), v, wts[i]}]++
+		}
+	}
+	for u := 0; u < rg.NumNodes(); u++ {
+		dsts, wts := rg.Neighbors(NodeID(u))
+		for i, v := range dsts {
+			k := key{v, NodeID(u), wts[i]}
+			fwd[k]--
+			if fwd[k] < 0 {
+				t.Fatalf("reverse has extra edge %v", k)
+			}
+		}
+	}
+	for k, c := range fwd {
+		if c != 0 {
+			t.Fatalf("edge %v lost in reverse (count %d)", k, c)
+		}
+	}
+}
+
+func TestReverseInvolution(t *testing.T) {
+	g := Cage(300, 8, 20, 7)
+	g.SortNeighbors()
+	rr := g.Reverse().Reverse()
+	rr.SortNeighbors()
+	if rr.NumEdges() != g.NumEdges() {
+		t.Fatalf("double reverse changed edge count")
+	}
+	for i := range g.Dst {
+		if g.Dst[i] != rr.Dst[i] || g.Wt[i] != rr.Wt[i] {
+			t.Fatalf("double reverse differs at edge %d", i)
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	gens := map[string]func() *CSR{
+		"road": func() *CSR { return Road(40, 40, 42) },
+		"cage": func() *CSR { return Cage(1000, 12, 30, 42) },
+		"web":  func() *CSR { return Web(1000, 42) },
+		"lj":   func() *CSR { return LJ(1000, 42) },
+		"grid": func() *CSR { return Grid(30, 30, 100, 42) },
+	}
+	for name, gen := range gens {
+		a, b := gen(), gen()
+		if a.NumEdges() != b.NumEdges() {
+			t.Fatalf("%s: nondeterministic edge count %d vs %d", name, a.NumEdges(), b.NumEdges())
+		}
+		for i := range a.Dst {
+			if a.Dst[i] != b.Dst[i] || a.Wt[i] != b.Wt[i] {
+				t.Fatalf("%s: nondeterministic at edge %d", name, i)
+			}
+		}
+	}
+}
+
+func TestGeneratorShapes(t *testing.T) {
+	// Check that the synthetic graphs match the Table II shape classes they
+	// substitute for (see DESIGN.md).
+	road := ComputeStats(Road(100, 100, 1))
+	if road.AvgDeg < 1.5 || road.AvgDeg > 4.5 {
+		t.Errorf("road avg degree %.2f outside sparse range", road.AvgDeg)
+	}
+	cage := ComputeStats(Cage(5000, 34, 80, 1))
+	if cage.AvgDeg < 20 || cage.AvgDeg > 50 {
+		t.Errorf("cage avg degree %.2f, want ~34", cage.AvgDeg)
+	}
+	if cage.MaxDeg > 85 {
+		t.Errorf("cage max degree %d, want <= ~80", cage.MaxDeg)
+	}
+	web := ComputeStats(Web(5000, 1))
+	if web.AvgDeg < 5 || web.AvgDeg > 25 {
+		t.Errorf("web avg degree %.2f, want ~11", web.AvgDeg)
+	}
+	lj := ComputeStats(LJ(5000, 1))
+	if lj.AvgDeg < 15 || lj.AvgDeg > 45 {
+		t.Errorf("lj avg degree %.2f, want ~28", lj.AvgDeg)
+	}
+	if lj.AvgDeg <= web.AvgDeg {
+		t.Errorf("lj (%.1f) should be denser than web (%.1f)", lj.AvgDeg, web.AvgDeg)
+	}
+	// Power-law tail: web max in-degree should dwarf its average.
+	rweb := Web(5000, 1).Reverse()
+	rstats := ComputeStats(rweb)
+	if float64(rstats.MaxDeg) < 5*rstats.AvgDeg {
+		t.Errorf("web in-degree tail too light: max %d avg %.1f", rstats.MaxDeg, rstats.AvgDeg)
+	}
+}
+
+func TestGridCoords(t *testing.T) {
+	g := Grid(5, 4, 10, 3)
+	if !g.HasCoords() {
+		t.Fatal("grid should have coordinates")
+	}
+	if g.NumNodes() != 20 {
+		t.Fatalf("grid nodes = %d, want 20", g.NumNodes())
+	}
+	// Node 7 = (2, 1).
+	if g.X[7] != 2 || g.Y[7] != 1 {
+		t.Fatalf("node 7 at (%v,%v), want (2,1)", g.X[7], g.Y[7])
+	}
+	// Every grid node has 2-4 neighbors, each one lattice step away.
+	for u := 0; u < g.NumNodes(); u++ {
+		d := g.OutDegree(NodeID(u))
+		if d < 2 || d > 4 {
+			t.Fatalf("grid node %d degree %d", u, d)
+		}
+		dsts, _ := g.Neighbors(NodeID(u))
+		for _, v := range dsts {
+			dx := g.X[u] - g.X[v]
+			dy := g.Y[u] - g.Y[v]
+			if dx*dx+dy*dy != 1 {
+				t.Fatalf("grid edge %d->%d not unit length", u, v)
+			}
+		}
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	g := Road(20, 20, 9)
+	var buf bytes.Buffer
+	if err := WriteDIMACS(&buf, g); err != nil {
+		t.Fatalf("WriteDIMACS: %v", err)
+	}
+	g2, err := ReadDIMACS("rt", &buf)
+	if err != nil {
+		t.Fatalf("ReadDIMACS: %v", err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip size mismatch")
+	}
+	for i := range g.Dst {
+		if g.Dst[i] != g2.Dst[i] || g.Wt[i] != g2.Wt[i] {
+			t.Fatalf("round trip differs at edge %d", i)
+		}
+	}
+}
+
+func TestDIMACSErrors(t *testing.T) {
+	cases := map[string]string{
+		"no problem line":  "a 1 2 3\n",
+		"bad problem":      "p xx 3 1\na 1 2 3\n",
+		"bad arc arity":    "p sp 3 1\na 1 2\n",
+		"arc out of range": "p sp 3 1\na 1 9 3\n",
+		"unknown record":   "p sp 3 1\nz 1 2 3\n",
+	}
+	for name, input := range cases {
+		if _, err := ReadDIMACS("t", strings.NewReader(input)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadSNAP(t *testing.T) {
+	input := "# comment\n10 20\n20 30\n10 30\n\n30 10\n"
+	g, err := ReadSNAP("snap", strings.NewReader(input))
+	if err != nil {
+		t.Fatalf("ReadSNAP: %v", err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 4 {
+		t.Fatalf("snap parsed %d nodes %d edges, want 3/4", g.NumNodes(), g.NumEdges())
+	}
+	// IDs compacted in first-appearance order: 10->0, 20->1, 30->2.
+	dsts, _ := g.Neighbors(0)
+	if len(dsts) != 2 || dsts[0] != 1 || dsts[1] != 2 {
+		t.Fatalf("node 0 neighbors = %v", dsts)
+	}
+}
+
+func TestReadSNAPErrors(t *testing.T) {
+	if _, err := ReadSNAP("t", strings.NewReader("# only comments\n")); err == nil {
+		t.Error("empty snap should error")
+	}
+	if _, err := ReadSNAP("t", strings.NewReader("1 x\n")); err == nil {
+		t.Error("non-numeric snap should error")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(123), NewRNG(123)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(124)
+	same := 0
+	a = NewRNG(123)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("different seeds collide %d/1000 times", same)
+	}
+}
+
+func TestRNGRanges(t *testing.T) {
+	r := NewRNG(7)
+	if err := quick.Check(func(nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		v := r.Intn(n)
+		return v >= 0 && v < n
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	for i := 0; i < 10000; i++ {
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		if z := r.Zipf(2.0, 50); z < 1 || z > 50 {
+			t.Fatalf("Zipf out of range: %v", z)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRNG(11)
+	ones := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if r.Zipf(2.0, 1000) == 1 {
+			ones++
+		}
+	}
+	// A power law with alpha=2 puts most mass at 1.
+	if ones < n/3 {
+		t.Fatalf("Zipf(2.0) not skewed: only %d/%d ones", ones, n)
+	}
+}
+
+func TestSortNeighbors(t *testing.T) {
+	g := Web(300, 5)
+	g.SortNeighbors()
+	for u := 0; u < g.NumNodes(); u++ {
+		dsts, _ := g.Neighbors(NodeID(u))
+		for i := 1; i < len(dsts); i++ {
+			if dsts[i-1] > dsts[i] {
+				t.Fatalf("node %d neighbors unsorted", u)
+			}
+		}
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	g, _ := FromEdges("s", 4, []Edge{{0, 1, 1}, {0, 2, 1}, {0, 3, 1}, {1, 0, 1}})
+	s := ComputeStats(g)
+	if s.Nodes != 4 || s.Edges != 4 || s.MaxDeg != 3 || s.MinDeg != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Sinks != 2 { // nodes 2 and 3
+		t.Fatalf("sinks = %d, want 2", s.Sinks)
+	}
+	if s.AvgDeg != 1.0 {
+		t.Fatalf("avg = %v, want 1", s.AvgDeg)
+	}
+}
+
+func TestLargestComponentSeed(t *testing.T) {
+	g := Grid(30, 30, 5, 2)
+	src := LargestComponentSeed(g)
+	if int(src) >= g.NumNodes() {
+		t.Fatalf("seed %d out of range", src)
+	}
+	// On a fully connected grid any seed reaches everything; just check the
+	// call is deterministic.
+	if src != LargestComponentSeed(g) {
+		t.Fatal("seed not deterministic")
+	}
+}
+
+func TestFromEdgesProperty(t *testing.T) {
+	// Property: FromEdges preserves multiset of edges and per-source order.
+	if err := quick.Check(func(raw []uint32) bool {
+		const n = 16
+		edges := make([]Edge, 0, len(raw))
+		for _, v := range raw {
+			edges = append(edges, Edge{
+				Src: NodeID(v % n),
+				Dst: NodeID((v >> 8) % n),
+				Wt:  (v >> 16) % 100,
+			})
+		}
+		g, err := FromEdges("q", n, edges)
+		if err != nil {
+			return false
+		}
+		if g.NumEdges() != len(edges) {
+			return false
+		}
+		// Rebuild per-source sequences from input and compare.
+		var want [n][]Edge
+		for _, e := range edges {
+			want[e.Src] = append(want[e.Src], e)
+		}
+		for u := 0; u < n; u++ {
+			dsts, wts := g.Neighbors(NodeID(u))
+			if len(dsts) != len(want[u]) {
+				return false
+			}
+			for i := range dsts {
+				if dsts[i] != want[u][i].Dst || wts[i] != want[u][i].Wt {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,127 @@
+package graph
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestReadMatrixMarketGeneral(t *testing.T) {
+	input := `%%MatrixMarket matrix coordinate real general
+% a comment
+3 3 4
+1 2 1.0
+2 3 2.0
+3 1 0.5
+1 3 4.0
+`
+	g, err := ReadMatrixMarket("mm", strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 4 {
+		t.Fatalf("got %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	// Weights scale |v| into [1, 1000]: min 0.5 -> 1, max 4.0 -> 1000.
+	dsts, wts := g.Neighbors(0) // node 1 -> {2, 3}
+	if len(dsts) != 2 {
+		t.Fatalf("node 0 degree %d", len(dsts))
+	}
+	var w13 uint32
+	for i, v := range dsts {
+		if v == 2 {
+			w13 = wts[i]
+		}
+	}
+	if w13 != 1000 {
+		t.Fatalf("max-value edge weight %d, want 1000", w13)
+	}
+}
+
+func TestReadMatrixMarketSymmetric(t *testing.T) {
+	input := `%%MatrixMarket matrix coordinate real symmetric
+2 2 1
+2 1 3.5
+`
+	g, err := ReadMatrixMarket("mm", strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("symmetric entry must mirror: %d edges", g.NumEdges())
+	}
+}
+
+func TestReadMatrixMarketPattern(t *testing.T) {
+	input := `%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 2
+2 1
+`
+	g, err := ReadMatrixMarket("mm", strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range g.Wt {
+		if w != 1 {
+			t.Fatalf("pattern matrix weight %d, want 1", w)
+		}
+	}
+}
+
+func TestReadMatrixMarketRectangular(t *testing.T) {
+	// Node count is max(rows, cols).
+	input := `%%MatrixMarket matrix coordinate real general
+2 5 1
+1 5 1.0
+`
+	g, err := ReadMatrixMarket("mm", strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 5 {
+		t.Fatalf("nodes = %d, want 5", g.NumNodes())
+	}
+}
+
+func TestReadMatrixMarketErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":           "",
+		"bad header":      "%%NotMM matrix coordinate real general\n1 1 0\n",
+		"array format":    "%%MatrixMarket matrix array real general\n1 1\n1.0\n",
+		"bad size line":   "%%MatrixMarket matrix coordinate real general\n1 1\n",
+		"no size line":    "%%MatrixMarket matrix coordinate real general\n% only comments\n",
+		"entry oob":       "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n",
+		"malformed entry": "%%MatrixMarket matrix coordinate real general\n2 2 1\nx\n",
+		"bad value":       "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 zz\n",
+	}
+	for name, input := range cases {
+		if _, err := ReadMatrixMarket("t", strings.NewReader(input)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestMatrixMarketWorksAsWorkloadInput(t *testing.T) {
+	// A small banded matrix read via MatrixMarket must behave like any
+	// other graph (this is how the real CAGE14 would enter the system).
+	var sb strings.Builder
+	sb.WriteString("%%MatrixMarket matrix coordinate real general\n40 40 120\n")
+	r := NewRNG(5)
+	for i := 1; i <= 40; i++ {
+		for k := 0; k < 3; k++ {
+			j := 1 + (i+int(r.Uint32n(7)))%40
+			if j == i {
+				j = i%40 + 1
+			}
+			sb.WriteString(strconv.Itoa(i) + " " + strconv.Itoa(j) + " 1.5\n")
+		}
+	}
+	g, err := ReadMatrixMarket("band", strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 40 || g.NumEdges() != 120 {
+		t.Fatalf("parsed %d/%d", g.NumNodes(), g.NumEdges())
+	}
+}

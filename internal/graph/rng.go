@@ -1,0 +1,77 @@
+package graph
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator (splitmix64
+// seeded xorshift*) used by the synthetic generators. It is reproducible
+// across platforms and Go versions, unlike math/rand's global functions, so
+// every generated graph is a pure function of (generator, parameters, seed).
+type RNG struct{ s uint64 }
+
+// NewRNG returns a generator seeded with seed (any value, including 0).
+func NewRNG(seed uint64) *RNG {
+	// splitmix64 step so nearby seeds produce unrelated streams.
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x9e3779b97f4a7c15
+	}
+	return &RNG{s: z}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.s
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.s = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("graph: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint32n returns a pseudo-random uint32 in [0, n).
+func (r *RNG) Uint32n(n uint32) uint32 {
+	if n == 0 {
+		panic("graph: Uint32n with zero n")
+	}
+	return uint32(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Zipf returns a value in [1, max] following an approximate power-law
+// distribution with exponent alpha (larger alpha skews toward 1). It uses
+// inverse-transform sampling of the continuous Pareto distribution, which
+// is accurate enough for degree-sequence generation.
+func (r *RNG) Zipf(alpha float64, max int) int {
+	if max <= 1 {
+		return 1
+	}
+	u := r.Float64()
+	if u == 0 {
+		u = 0.5
+	}
+	// Inverse CDF of bounded Pareto on [1, max].
+	x := math.Pow(1.0-u*(1.0-math.Pow(float64(max), 1.0-alpha)), 1.0/(1.0-alpha))
+	v := int(x)
+	if v < 1 {
+		v = 1
+	}
+	if v > max {
+		v = max
+	}
+	return v
+}

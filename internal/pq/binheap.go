@@ -1,0 +1,78 @@
+package pq
+
+import "hdcps/internal/task"
+
+// BinaryHeap is a classic array-backed binary min-heap. It is the software
+// priority queue the paper's RELD and HD-CPS:SW designs pay O(log n)
+// rebalancing for on every enqueue/dequeue; the simulator charges exactly
+// that cost. The zero value is an empty heap ready to use.
+type BinaryHeap struct {
+	items []task.Task
+}
+
+// NewBinaryHeap returns an empty heap with the given initial capacity.
+func NewBinaryHeap(capacity int) *BinaryHeap {
+	return &BinaryHeap{items: make([]task.Task, 0, capacity)}
+}
+
+// Len returns the number of queued tasks.
+func (h *BinaryHeap) Len() int { return len(h.items) }
+
+// Push inserts t.
+func (h *BinaryHeap) Push(t task.Task) {
+	h.items = append(h.items, t)
+	h.siftUp(len(h.items) - 1)
+}
+
+// Pop removes and returns the minimum task.
+func (h *BinaryHeap) Pop() (task.Task, bool) {
+	if len(h.items) == 0 {
+		return task.Task{}, false
+	}
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	if last > 0 {
+		h.siftDown(0)
+	}
+	return top, true
+}
+
+// Peek returns the minimum task without removing it.
+func (h *BinaryHeap) Peek() (task.Task, bool) {
+	if len(h.items) == 0 {
+		return task.Task{}, false
+	}
+	return h.items[0], true
+}
+
+func (h *BinaryHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.items[i].Less(h.items[parent]) {
+			return
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *BinaryHeap) siftDown(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		least := i
+		if l < n && h.items[l].Less(h.items[least]) {
+			least = l
+		}
+		if r < n && h.items[r].Less(h.items[least]) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		h.items[i], h.items[least] = h.items[least], h.items[i]
+		i = least
+	}
+}

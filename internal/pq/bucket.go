@@ -1,0 +1,101 @@
+package pq
+
+import "hdcps/internal/task"
+
+// BucketQueue is a monotone bucket queue: tasks are grouped by priority into
+// FIFO buckets and served lowest-priority-bucket first. It is the structure
+// behind OBIM's global bag map (priorities quantized to buckets) and the
+// sequential delta-stepping baseline. Unlike the heaps it supports only
+// priorities >= the current scan cursor efficiently; pushing below the
+// cursor rewinds it (an O(1) pointer move, as in delta-stepping).
+type BucketQueue struct {
+	buckets map[int64][]task.Task
+	cursor  int64 // lowest priority that may be non-empty
+	size    int
+	known   bool // cursor initialized
+}
+
+// NewBucketQueue returns an empty bucket queue.
+func NewBucketQueue() *BucketQueue {
+	return &BucketQueue{buckets: make(map[int64][]task.Task)}
+}
+
+// Len returns the number of queued tasks.
+func (q *BucketQueue) Len() int { return q.size }
+
+// Push inserts t into its priority bucket.
+func (q *BucketQueue) Push(t task.Task) {
+	q.buckets[t.Prio] = append(q.buckets[t.Prio], t)
+	if !q.known || t.Prio < q.cursor {
+		q.cursor = t.Prio
+		q.known = true
+	}
+	q.size++
+}
+
+// Pop removes and returns a task from the lowest non-empty bucket (FIFO
+// within a bucket, as OBIM's unordered bags are).
+func (q *BucketQueue) Pop() (task.Task, bool) {
+	prio, ok := q.scan()
+	if !ok {
+		return task.Task{}, false
+	}
+	b := q.buckets[prio]
+	t := b[0]
+	if len(b) == 1 {
+		delete(q.buckets, prio)
+	} else {
+		q.buckets[prio] = b[1:]
+	}
+	q.size--
+	return t, true
+}
+
+// Peek returns a task from the lowest non-empty bucket without removing it.
+func (q *BucketQueue) Peek() (task.Task, bool) {
+	prio, ok := q.scan()
+	if !ok {
+		return task.Task{}, false
+	}
+	return q.buckets[prio][0], true
+}
+
+// PopBucket removes and returns the entire lowest non-empty bucket along
+// with its priority. OBIM-style schedulers use this to grab a whole bag.
+func (q *BucketQueue) PopBucket() (int64, []task.Task, bool) {
+	prio, ok := q.scan()
+	if !ok {
+		return 0, nil, false
+	}
+	b := q.buckets[prio]
+	delete(q.buckets, prio)
+	q.size -= len(b)
+	return prio, b, true
+}
+
+// scan advances the cursor to the lowest non-empty bucket. The map fallback
+// below handles the pathological case of a sparse priority space: if the
+// linear scan walks too far it falls back to a full map sweep, keeping Pop
+// amortized cheap for both dense (delta-stepping) and sparse priorities.
+func (q *BucketQueue) scan() (int64, bool) {
+	if q.size == 0 {
+		return 0, false
+	}
+	const linearLimit = 4096
+	for step := 0; step < linearLimit; step++ {
+		if _, ok := q.buckets[q.cursor]; ok {
+			return q.cursor, true
+		}
+		q.cursor++
+	}
+	best, found := int64(0), false
+	for p := range q.buckets {
+		if !found || p < best {
+			best, found = p, true
+		}
+	}
+	if found {
+		q.cursor = best
+	}
+	return best, found
+}

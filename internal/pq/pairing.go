@@ -1,0 +1,102 @@
+package pq
+
+import "hdcps/internal/task"
+
+// PairingHeap is a meldable min-heap with O(1) amortized Push and Meld and
+// O(log n) amortized Pop. The ablation benches use it to quantify how much
+// of HD-CPS's gain is independent of the underlying heap flavor.
+type PairingHeap struct {
+	root *pairNode
+	size int
+}
+
+type pairNode struct {
+	t       task.Task
+	child   *pairNode // leftmost child
+	sibling *pairNode // next sibling
+}
+
+// NewPairingHeap returns an empty pairing heap.
+func NewPairingHeap() *PairingHeap { return &PairingHeap{} }
+
+// Len returns the number of queued tasks.
+func (h *PairingHeap) Len() int { return h.size }
+
+// Push inserts t.
+func (h *PairingHeap) Push(t task.Task) {
+	h.root = merge(h.root, &pairNode{t: t})
+	h.size++
+}
+
+// Peek returns the minimum task without removing it.
+func (h *PairingHeap) Peek() (task.Task, bool) {
+	if h.root == nil {
+		return task.Task{}, false
+	}
+	return h.root.t, true
+}
+
+// Pop removes and returns the minimum task.
+func (h *PairingHeap) Pop() (task.Task, bool) {
+	if h.root == nil {
+		return task.Task{}, false
+	}
+	top := h.root.t
+	h.root = mergePairs(h.root.child)
+	h.size--
+	return top, true
+}
+
+// Meld merges other into h, leaving other empty. This is the operation that
+// makes pairing heaps attractive for bag hand-off: an entire remote bag can
+// be adopted in O(1).
+func (h *PairingHeap) Meld(other *PairingHeap) {
+	if other == nil || other.root == nil {
+		return
+	}
+	h.root = merge(h.root, other.root)
+	h.size += other.size
+	other.root, other.size = nil, 0
+}
+
+func merge(a, b *pairNode) *pairNode {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if b.t.Less(a.t) {
+		a, b = b, a
+	}
+	b.sibling = a.child
+	a.child = b
+	return a
+}
+
+// mergePairs combines a sibling list using the standard two-pass pairing.
+// It is iterative to avoid deep recursion on adversarial shapes.
+func mergePairs(n *pairNode) *pairNode {
+	if n == nil {
+		return nil
+	}
+	// First pass: merge siblings in pairs.
+	var pairs []*pairNode
+	for n != nil {
+		a := n
+		b := n.sibling
+		n = nil
+		if b != nil {
+			n = b.sibling
+			b.sibling = nil
+		}
+		a.sibling = nil
+		pairs = append(pairs, merge(a, b))
+	}
+	// Second pass: fold right to left.
+	root := pairs[len(pairs)-1]
+	for i := len(pairs) - 2; i >= 0; i-- {
+		root = merge(pairs[i], root)
+	}
+	return root
+}

@@ -1,0 +1,120 @@
+// Package rq implements the per-core software receive queue of HD-CPS
+// (§III-A): a fixed-size circular buffer that decouples inter-core task
+// transfer from task processing. Multiple sender cores claim slots with an
+// atomic increment of the write pointer and then publish their task by
+// setting the slot flag; the single owning core drains published slots into
+// its private priority queue. This keeps the priority queue free of remote
+// atomic operations.
+package rq
+
+import (
+	"sync/atomic"
+
+	"hdcps/internal/task"
+)
+
+// Ring is a bounded multi-producer single-consumer queue of tasks. Producers
+// may call TryPush concurrently; only the owning core may call Pop/Drain.
+// Capacities are rounded up to a power of two. The zero value is not usable;
+// construct with NewRing.
+type Ring struct {
+	mask uint64
+	// head is the consumer cursor, tail the producer claim cursor.
+	head  atomic.Uint64
+	tail  atomic.Uint64
+	slots []slot
+}
+
+type slot struct {
+	// seq implements the Vyukov sequence protocol: a slot is writable for
+	// ticket t when seq == t, and readable when seq == t+1. This is the
+	// "flag" of the paper's receive queue, generalized so the ring can wrap
+	// without the ABA problem.
+	seq  atomic.Uint64
+	task task.Task
+}
+
+// NewRing returns an empty ring with capacity rounded up to a power of two
+// (minimum 2).
+func NewRing(capacity int) *Ring {
+	n := 2
+	for n < capacity {
+		n <<= 1
+	}
+	r := &Ring{mask: uint64(n - 1), slots: make([]slot, n)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// Cap returns the ring capacity.
+func (r *Ring) Cap() int { return len(r.slots) }
+
+// Len returns a snapshot of the number of published-but-unconsumed tasks.
+// With concurrent producers it is approximate, as for any concurrent queue.
+func (r *Ring) Len() int {
+	t := r.tail.Load()
+	h := r.head.Load()
+	if t < h {
+		return 0
+	}
+	n := int(t - h)
+	if n > len(r.slots) {
+		n = len(r.slots)
+	}
+	return n
+}
+
+// TryPush attempts to enqueue t. It returns false when the ring is full,
+// which in HD-CPS triggers the sender's flow-control fallback (pick another
+// core, or spill to the destination's overflow list).
+func (r *Ring) TryPush(t task.Task) bool {
+	for {
+		pos := r.tail.Load()
+		s := &r.slots[pos&r.mask]
+		seq := s.seq.Load()
+		switch {
+		case seq == pos:
+			// Slot free for this ticket: claim it.
+			if r.tail.CompareAndSwap(pos, pos+1) {
+				s.task = t
+				s.seq.Store(pos + 1) // publish (the paper's flag set)
+				return true
+			}
+		case seq < pos:
+			// Slot still holds an unconsumed task a full lap behind: full.
+			return false
+		default:
+			// Another producer claimed this ticket; retry with a new one.
+		}
+	}
+}
+
+// Pop removes and returns the oldest published task. It must be called only
+// by the ring's owning consumer.
+func (r *Ring) Pop() (task.Task, bool) {
+	pos := r.head.Load()
+	s := &r.slots[pos&r.mask]
+	if s.seq.Load() != pos+1 {
+		return task.Task{}, false // nothing published at the cursor
+	}
+	t := s.task
+	s.seq.Store(pos + uint64(len(r.slots))) // recycle slot for the next lap
+	r.head.Store(pos + 1)
+	return t, true
+}
+
+// Drain pops up to max tasks (all published tasks if max <= 0), appending
+// them to dst, and returns the extended slice. Draining in batches is what
+// the paper's ISR does when moving tasks to the priority queue.
+func (r *Ring) Drain(dst []task.Task, max int) []task.Task {
+	for n := 0; max <= 0 || n < max; n++ {
+		t, ok := r.Pop()
+		if !ok {
+			break
+		}
+		dst = append(dst, t)
+	}
+	return dst
+}

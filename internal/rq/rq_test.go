@@ -1,0 +1,172 @@
+package rq
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"hdcps/internal/task"
+)
+
+func TestRingFIFO(t *testing.T) {
+	r := NewRing(8)
+	for i := 0; i < 8; i++ {
+		if !r.TryPush(task.Task{Node: uint32(i)}) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if r.TryPush(task.Task{Node: 99}) {
+		t.Fatal("push into full ring succeeded")
+	}
+	for i := 0; i < 8; i++ {
+		got, ok := r.Pop()
+		if !ok || got.Node != uint32(i) {
+			t.Fatalf("pop %d = %v/%v", i, got, ok)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("pop from empty ring succeeded")
+	}
+}
+
+func TestRingCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, 2}, {1, 2}, {2, 2}, {3, 4}, {8, 8}, {9, 16}, {32, 32},
+	} {
+		if got := NewRing(tc.in).Cap(); got != tc.want {
+			t.Errorf("NewRing(%d).Cap() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestRingWrapAround(t *testing.T) {
+	r := NewRing(4)
+	// Many laps with interleaved push/pop.
+	for lap := 0; lap < 1000; lap++ {
+		for i := 0; i < 3; i++ {
+			if !r.TryPush(task.Task{Node: uint32(lap*3 + i)}) {
+				t.Fatalf("lap %d push %d failed (len=%d)", lap, i, r.Len())
+			}
+		}
+		for i := 0; i < 3; i++ {
+			got, ok := r.Pop()
+			if !ok || got.Node != uint32(lap*3+i) {
+				t.Fatalf("lap %d pop %d = %v/%v", lap, i, got, ok)
+			}
+		}
+	}
+}
+
+func TestRingLen(t *testing.T) {
+	r := NewRing(16)
+	for i := 0; i < 5; i++ {
+		r.TryPush(task.Task{})
+	}
+	if r.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", r.Len())
+	}
+	r.Pop()
+	r.Pop()
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+}
+
+func TestRingDrain(t *testing.T) {
+	r := NewRing(16)
+	for i := 0; i < 10; i++ {
+		r.TryPush(task.Task{Node: uint32(i)})
+	}
+	buf := make([]task.Task, 0, 16)
+	buf = r.Drain(buf, 4)
+	if len(buf) != 4 {
+		t.Fatalf("partial drain got %d, want 4", len(buf))
+	}
+	buf = r.Drain(buf, 0) // drain the rest
+	if len(buf) != 10 {
+		t.Fatalf("full drain got %d, want 10", len(buf))
+	}
+	for i, tk := range buf {
+		if tk.Node != uint32(i) {
+			t.Fatalf("drain order broken at %d: %v", i, tk)
+		}
+	}
+}
+
+// TestRingConcurrentProducers is the MPSC stress test: P producers push
+// disjoint task streams while one consumer drains; every task must arrive
+// exactly once and each producer's stream must stay in order.
+func TestRingConcurrentProducers(t *testing.T) {
+	const (
+		producers = 8
+		perProd   = 500
+	)
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				tk := task.Task{Node: uint32(p), Data: uint64(i)}
+				for !r.TryPush(tk) {
+					// Full: yield and retry, as a flow-controlled sender
+					// would. The yield keeps this test fast on GOMAXPROCS=1.
+					runtime.Gosched()
+				}
+			}
+		}(p)
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+
+	got := make([]int, producers)     // count per producer
+	lastSeq := make([]int, producers) // last sequence per producer
+	for i := range lastSeq {
+		lastSeq[i] = -1
+	}
+	total := 0
+	for total < producers*perProd {
+		tk, ok := r.Pop()
+		if !ok {
+			select {
+			case <-done:
+				// producers finished; drain what remains then re-check
+				if tk, ok = r.Pop(); !ok {
+					if total != producers*perProd {
+						t.Fatalf("consumed %d, want %d", total, producers*perProd)
+					}
+					break
+				}
+			default:
+				runtime.Gosched()
+				continue
+			}
+		}
+		p := int(tk.Node)
+		seq := int(tk.Data)
+		if seq <= lastSeq[p] {
+			t.Fatalf("producer %d out of order: %d after %d", p, seq, lastSeq[p])
+		}
+		lastSeq[p] = seq
+		got[p]++
+		total++
+	}
+	for p, c := range got {
+		if c != perProd {
+			t.Fatalf("producer %d delivered %d, want %d", p, c, perProd)
+		}
+	}
+}
+
+func BenchmarkRingPushPop(b *testing.B) {
+	r := NewRing(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.TryPush(task.Task{Node: uint32(i)})
+		r.Pop()
+	}
+}

@@ -1,0 +1,322 @@
+// Package runtime is the native (goroutine-based) HD-CPS implementation:
+// the same scheduler design the simulator models — per-worker receive rings
+// (§III-A), a private priority queue per worker, adaptive bags (§III-B),
+// and the drift-feedback TDF controller (§III-C) — running on real threads
+// against real memory. It is the library a downstream Go user adopts, and
+// it is the "real machine" side of the paper's simulator-correlation
+// experiment (Fig. 10).
+package runtime
+
+import (
+	stdruntime "runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hdcps/internal/bag"
+	"hdcps/internal/drift"
+	"hdcps/internal/graph"
+	"hdcps/internal/pq"
+	"hdcps/internal/rq"
+	"hdcps/internal/stats"
+	"hdcps/internal/task"
+	"hdcps/internal/workload"
+)
+
+// Config configures a native run.
+type Config struct {
+	// Workers is the number of worker goroutines (default GOMAXPROCS-ish 4).
+	Workers int
+	// RingSize is the per-worker receive ring capacity (default 256).
+	RingSize int
+	// Bags selects the bag policy (default: the paper's selective policy).
+	Bags bag.Policy
+	// UseTDF enables the adaptive controller; FixedTDF applies otherwise.
+	UseTDF   bool
+	FixedTDF int
+	// Drift configures the controller.
+	Drift drift.Config
+	// Seed makes destination selection reproducible per worker.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper-tuned native configuration.
+func DefaultConfig(workers int) Config {
+	return Config{
+		Workers:  workers,
+		RingSize: 256,
+		Bags:     bag.DefaultPolicy(),
+		UseTDF:   true,
+	}
+}
+
+// Result reports a native run's metrics.
+type Result struct {
+	Elapsed        time.Duration
+	TasksProcessed int64
+	BagsCreated    int64
+	DriftTrace     []float64
+	TDFTrace       []int
+}
+
+// Run executes w to completion with cfg and returns the run metrics. The
+// workload is Reset first. It is safe to call concurrently with different
+// workloads, but a single workload instance must not be shared across
+// simultaneous runs.
+func Run(w workload.Workload, cfg Config) Result {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = 256
+	}
+	if cfg.Bags.Mode != bag.Never && cfg.Bags.MaxSize == 0 {
+		cfg.Bags = bag.DefaultPolicy()
+	}
+	w.Reset()
+
+	e := &engine{
+		cfg:     cfg,
+		w:       w,
+		workers: make([]worker, cfg.Workers),
+		ctrl:    drift.NewController(cfg.Drift),
+		reports: make([]int64, cfg.Workers),
+	}
+	if cfg.UseTDF {
+		e.tdf.Store(int64(e.ctrl.TDF()))
+	} else {
+		tdf := int64(cfg.FixedTDF)
+		if tdf <= 0 {
+			tdf = 100
+		}
+		e.tdf.Store(tdf)
+	}
+	for i := range e.workers {
+		e.workers[i] = worker{
+			ring: rq.NewRing(cfg.RingSize),
+			heap: pq.NewBinaryHeap(64),
+			rng:  graph.NewRNG(cfg.Seed + uint64(i)*0x9e3779b9),
+		}
+	}
+
+	initial := w.InitialTasks()
+	e.outstanding.Store(int64(len(initial)))
+	for i, t := range initial {
+		e.workers[i%cfg.Workers].heap.Push(t)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Workers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			e.run(id)
+		}(i)
+	}
+	wg.Wait()
+
+	res := Result{
+		Elapsed:        time.Since(start),
+		TasksProcessed: e.processed.Load(),
+		BagsCreated:    e.bagsCreated.Load(),
+	}
+	for _, rec := range e.ctrl.History() {
+		res.DriftTrace = append(res.DriftTrace, rec.Drift)
+		res.TDFTrace = append(res.TDFTrace, rec.TDF)
+	}
+	return res
+}
+
+// RunAsStats adapts a native Result into the stats.Run vocabulary shared
+// with the simulator (completion time in nanoseconds).
+func RunAsStats(w workload.Workload, cfg Config) stats.Run {
+	res := Run(w, cfg)
+	return stats.Run{
+		Scheduler:      "native-hdcps",
+		Workload:       w.Name(),
+		Input:          w.Graph().Name,
+		Cores:          cfg.Workers,
+		CompletionTime: res.Elapsed.Nanoseconds(),
+		TasksProcessed: res.TasksProcessed,
+		BagsCreated:    res.BagsCreated,
+		DriftTrace:     res.DriftTrace,
+		TDFTrace:       res.TDFTrace,
+	}
+}
+
+type worker struct {
+	ring *rq.Ring
+	heap *pq.BinaryHeap
+	rng  *graph.RNG
+
+	// overflow catches pushes that found the ring full (the sender-side
+	// flow-control fallback). overflowN mirrors len(overflow) so the owner
+	// can skip the lock when the list is empty.
+	mu        sync.Mutex
+	overflow  []task.Task
+	overflowN atomic.Int64
+
+	sinceReport int64
+	_pad        [4]int64 // reduce false sharing between workers
+}
+
+type engine struct {
+	cfg     Config
+	w       workload.Workload
+	workers []worker
+
+	outstanding atomic.Int64 // tasks emitted but not yet fully processed
+	processed   atomic.Int64
+	bagsCreated atomic.Int64
+	bagSeq      atomic.Uint64
+	tdf         atomic.Int64
+
+	// Bag payload store: metadata travels through rings, payload stays
+	// here until the consumer unpacks it (pull transport, the paper's
+	// preferred scheme).
+	bags sync.Map // uint64 -> []task.Task
+
+	// Drift reporting (Alg. 2/3): workers write their latest priority,
+	// the master consumes a full set.
+	reports     []int64
+	reportCount atomic.Int64
+	ctrlMu      sync.Mutex
+	ctrl        *drift.Controller
+}
+
+// bagMarker tags a ring task as bag metadata (node IDs never reach 2^32-1).
+const bagMarker = ^graph.NodeID(0)
+
+func (e *engine) run(id int) {
+	me := &e.workers[id]
+	buf := make([]task.Task, 0, 64)
+	children := make([]task.Task, 0, 16)
+	for {
+		// Drain the receive ring (and any overflow) into the private heap.
+		buf = me.ring.Drain(buf[:0], 0)
+		if me.overflowN.Load() > 0 {
+			me.mu.Lock()
+			buf = append(buf, me.overflow...)
+			me.overflowN.Add(-int64(len(me.overflow)))
+			me.overflow = me.overflow[:0]
+			me.mu.Unlock()
+		}
+		for _, t := range buf {
+			me.heap.Push(t)
+		}
+
+		t, ok := me.heap.Pop()
+		if !ok {
+			if e.outstanding.Load() == 0 {
+				return // global termination: no tasks anywhere
+			}
+			// Work exists elsewhere and may land in our ring; yield so the
+			// workers holding it can run (matters on small GOMAXPROCS).
+			stdruntime.Gosched()
+			continue
+		}
+
+		if t.Node == bagMarker {
+			if payload, found := e.bags.LoadAndDelete(t.Data); found {
+				for _, bt := range payload.([]task.Task) {
+					children = e.processOne(id, me, bt, children)
+				}
+			}
+			e.outstanding.Add(-1) // the bag itself
+		} else {
+			children = e.processOne(id, me, t, children)
+		}
+	}
+}
+
+// processOne executes one task and distributes its children; it returns the
+// (reused) children scratch buffer.
+func (e *engine) processOne(id int, me *worker, t task.Task, children []task.Task) []task.Task {
+	children = children[:0]
+	edges := e.w.Process(t, func(c task.Task) { children = append(children, c) })
+	_ = edges
+	e.processed.Add(1)
+
+	if len(children) > 0 {
+		bags, singles := bag.Partition(children, e.cfg.Bags, func() uint64 {
+			return e.bagSeq.Add(1)
+		})
+		// Account all new work before making any of it visible.
+		e.outstanding.Add(int64(len(bags)) + int64(countTasks(bags)) + int64(len(singles)))
+		for _, b := range bags {
+			e.bagsCreated.Add(1)
+			payload := append([]task.Task(nil), b.Tasks...)
+			e.bags.Store(b.ID, payload)
+			e.dispatch(id, me, task.Task{Node: bagMarker, Prio: b.Prio, Data: b.ID})
+		}
+		for _, s := range singles {
+			e.dispatch(id, me, s)
+		}
+	}
+	if t.Node != bagMarker {
+		e.outstanding.Add(-1)
+	}
+
+	// Drift reporting.
+	me.sinceReport++
+	if me.sinceReport >= int64(e.ctrl.Config().SampleInterval) {
+		me.sinceReport = 0
+		e.report(id, t.Prio)
+	}
+	return children
+}
+
+func countTasks(bags []bag.Bag) int {
+	n := 0
+	for _, b := range bags {
+		n += len(b.Tasks)
+	}
+	return n
+}
+
+// dispatch sends one unit (task or bag metadata) to a destination chosen by
+// the current TDF.
+func (e *engine) dispatch(id int, me *worker, t task.Task) {
+	dst := id
+	if n := len(e.workers); n > 1 && int64(me.rng.Uint32n(100)) < e.tdf.Load() {
+		d := int(me.rng.Uint32n(uint32(n - 1)))
+		if d >= id {
+			d++
+		}
+		dst = d
+	}
+	if dst == id {
+		me.heap.Push(t)
+		return
+	}
+	w := &e.workers[dst]
+	if !w.ring.TryPush(t) {
+		// Flow control fallback: the destination's ring is full; park the
+		// task in its overflow list.
+		w.mu.Lock()
+		w.overflow = append(w.overflow, t)
+		w.overflowN.Add(1)
+		w.mu.Unlock()
+	}
+}
+
+// report implements Algorithm 3's send + the master-side Algorithm 2 step.
+func (e *engine) report(id int, prio int64) {
+	atomic.StoreInt64(&e.reports[id], prio)
+	if e.reportCount.Add(1) < int64(len(e.workers)) {
+		return
+	}
+	e.reportCount.Store(0)
+	if !e.cfg.UseTDF {
+		return
+	}
+	snapshot := make([]int64, len(e.reports))
+	for i := range e.reports {
+		snapshot[i] = atomic.LoadInt64(&e.reports[i])
+	}
+	e.ctrlMu.Lock()
+	tdf := e.ctrl.Update(snapshot)
+	e.ctrlMu.Unlock()
+	e.tdf.Store(int64(tdf))
+}

@@ -1,0 +1,193 @@
+// Package sched implements every concurrent priority scheduler the paper
+// evaluates, all running on the deterministic simulator in package sim:
+//
+//   - Sequential: the single-core baseline speedups are measured against.
+//   - RELD: push-style per-core locked priority queues, random distribution.
+//   - OBIM: pull-style global bag map with fixed priority quantization.
+//   - PMOD: OBIM with runtime bag merge/split.
+//   - Software Minnow: OBIM with dedicated prefetch (minnow) cores.
+//   - Hardware Minnow: per-worker offload engines for worklist operations.
+//   - HD-CPS: the paper's contribution, §III, in all its configurations
+//     (sRQ, +TDF, +AC, +SC, hRQ, hRQ+hPQ) — RELD is its degenerate preset.
+//   - Swarm: idealized speculative ordered execution with conflict aborts.
+//
+// Each scheduler charges the simulator for every operation it models; the
+// cost constants live in sim.Config so software mode (Xeon-like) and
+// hardware mode (Table I) share one fabric.
+package sched
+
+import (
+	"fmt"
+
+	"hdcps/internal/graph"
+	"hdcps/internal/sim"
+	"hdcps/internal/stats"
+	"hdcps/internal/task"
+	"hdcps/internal/workload"
+)
+
+// Scheduler runs a workload on a simulated machine and reports the
+// paper's metrics.
+type Scheduler interface {
+	// Name returns the label used in figures.
+	Name() string
+	// Run executes w to completion on a fresh machine with cfg and returns
+	// the run's metrics. It resets w first. Implementations must be
+	// deterministic for a fixed (w, cfg, seed).
+	Run(w workload.Workload, cfg sim.Config, seed uint64) stats.Run
+}
+
+// idlePrio is the per-core "no current task" sentinel excluded from drift
+// sampling.
+const idlePrio = int64(1) << 62
+
+// driftProbeInterval is the machine-cycle spacing of the figure-level drift
+// sampler (the fixed sampling interval of Fig. 3's drift metric).
+const driftProbeInterval = 50_000
+
+// costModel bundles the cycle accounting shared by all schedulers.
+type costModel struct {
+	cfg sim.Config
+	g   *graph.CSR
+}
+
+// Synthetic address space for the cache model: workload node state, the CSR
+// adjacency arrays, and per-core scheduler structures live in disjoint
+// regions so the private caches see realistic reuse patterns.
+const (
+	addrNodeBase  = uint64(0x1000_0000)
+	addrEdgeBase  = uint64(0x4000_0000)
+	addrSchedBase = uint64(0x8000_0000)
+	schedStride   = uint64(1) << 24 // per-core scheduler heap region
+)
+
+func nodeAddr(u graph.NodeID) uint64 { return addrNodeBase + uint64(u)*8 }
+func edgeAddr(off uint32) uint64     { return addrEdgeBase + uint64(off)*8 }
+
+// taskCost charges the memory system for processing task t on core (reading
+// the node's state, streaming its adjacency list, touching each neighbor's
+// state) and returns the total compute cycles: fixed base + per-edge work +
+// memory latency.
+// taskCostAt is taskCost issued `at` cycles into the core's current step.
+func (c *costModel) taskCostAt(m *sim.Machine, core int, t task.Task, edges int, at int64) int64 {
+	u := t.Node
+	cost := c.cfg.TaskBaseCycles + int64(edges)*c.cfg.EdgeCycles
+	cost += m.MemAccessAt(core, nodeAddr(u), 8, at+cost)
+	if edges > 0 {
+		lo := c.g.Off[u]
+		cost += m.MemAccessAt(core, edgeAddr(lo), 8*edges, at+cost) // sequential stream
+		dsts, _ := c.g.Neighbors(u)
+		for i := 0; i < edges && i < len(dsts); i++ {
+			cost += m.MemAccessAt(core, nodeAddr(dsts[i]), 8, at+cost)
+		}
+	}
+	return cost
+}
+
+func (c *costModel) taskCost(m *sim.Machine, core int, t task.Task, edges int) int64 {
+	return c.taskCostAt(m, core, t, edges, 0)
+}
+
+// swPQCost returns the software priority-queue operation cost for a queue
+// of length n: base + per-log2(n) rebalancing, the O(log n) the paper
+// identifies as a dominant overhead.
+func (c *costModel) swPQCost(n int) int64 {
+	cost := c.cfg.SWPQBase
+	for n > 1 {
+		cost += c.cfg.SWPQPerLog
+		n >>= 1
+	}
+	return cost
+}
+
+// lockModel serializes a shared software lock: acquire at time t returns
+// the wait (contention) cycles; the lock is then held for hold cycles.
+type lockModel struct{ free int64 }
+
+func (l *lockModel) acquire(t, hold int64) (wait int64) {
+	if l.free > t {
+		wait = l.free - t
+	}
+	l.free = t + wait + hold
+	return wait
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// runResult assembles the common stats.Run fields.
+func newRun(schedName string, w workload.Workload, cfg sim.Config) stats.Run {
+	return stats.Run{
+		Scheduler: schedName,
+		Workload:  w.Name(),
+		Input:     w.Graph().Name,
+		Cores:     cfg.Cores,
+	}
+}
+
+// finishRun folds the machine's outputs into r.
+func finishRun(r *stats.Run, total int64, bds []stats.Breakdown, m *sim.Machine) {
+	r.CompletionTime = total
+	for _, b := range bds {
+		r.Breakdown.Add(b)
+	}
+	r.MessagesSent = m.MessagesSent()
+	r.L1Hits, r.L2Hits, r.MemMisses = m.MemStats()
+	r.DriftTrace = m.DriftTrace()
+}
+
+// ByName returns the scheduler registered under name. Available names:
+// seq, reld, obim, pmod, swminnow, hwminnow, hdcps-sw, hdcps-hw, swarm, the
+// HD-CPS ablation variants (srq, srq+tdf, srq+tdf+ac, hrq), and the §II
+// motivation baselines (steal, ordered, multiq).
+func ByName(name string) (Scheduler, error) {
+	switch name {
+	case "seq":
+		return Sequential{}, nil
+	case "reld":
+		return RELD(), nil
+	case "srq":
+		return VariantSRQ(), nil
+	case "srq+tdf":
+		return VariantSRQTDF(), nil
+	case "srq+tdf+ac":
+		return VariantSRQTDFAC(), nil
+	case "hdcps-sw":
+		return HDCPSSW(), nil
+	case "hrq":
+		return VariantHRQ(), nil
+	case "hdcps-hw":
+		return HDCPSHW(), nil
+	case "obim":
+		return OBIM(), nil
+	case "pmod":
+		return PMOD(), nil
+	case "swminnow":
+		return SWMinnow(4), nil
+	case "hwminnow":
+		return HWMinnow(), nil
+	case "swarm":
+		return Swarm(), nil
+	case "steal":
+		return Steal(), nil
+	case "ordered":
+		return Ordered(), nil
+	case "multiq":
+		return MultiQ(), nil
+	default:
+		return nil, fmt.Errorf("sched: unknown scheduler %q", name)
+	}
+}
+
+// Names lists the registered scheduler names.
+func Names() []string {
+	return []string{
+		"seq", "reld", "srq", "srq+tdf", "srq+tdf+ac", "hdcps-sw",
+		"hrq", "hdcps-hw", "obim", "pmod", "swminnow", "hwminnow", "swarm",
+		"steal", "ordered", "multiq",
+	}
+}

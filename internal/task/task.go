@@ -1,0 +1,28 @@
+// Package task defines the unit of scheduled work shared by every scheduler,
+// workload, and queue in the repository.
+package task
+
+import "hdcps/internal/graph"
+
+// Task is a schedulable unit of work. Following the paper (§II), a task is
+// associated with a graph node and carries an algorithm-defined priority;
+// lower Prio values are higher priority (processed first), matching the
+// paper's workloads where priority is a distance/level to minimize.
+//
+// Data is a workload-defined payload (for example, the tentative distance a
+// relaxation was created with). Together with the 64-bit packed ID this
+// mirrors the paper's 128-bit hardware queue entries (ID + data, §III-D).
+type Task struct {
+	Node graph.NodeID
+	Prio int64
+	Data uint64
+}
+
+// Less reports whether t has strictly higher scheduling priority than o
+// (numerically lower Prio, with Node as a deterministic tie-break).
+func (t Task) Less(o Task) bool {
+	if t.Prio != o.Prio {
+		return t.Prio < o.Prio
+	}
+	return t.Node < o.Node
+}

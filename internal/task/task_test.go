@@ -1,0 +1,54 @@
+package task
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestLessOrdersByPriority(t *testing.T) {
+	a := Task{Node: 9, Prio: 1}
+	b := Task{Node: 1, Prio: 2}
+	if !a.Less(b) || b.Less(a) {
+		t.Fatal("lower Prio must sort first regardless of Node")
+	}
+}
+
+func TestLessTieBreaksByNode(t *testing.T) {
+	a := Task{Node: 1, Prio: 5}
+	b := Task{Node: 2, Prio: 5}
+	if !a.Less(b) || b.Less(a) {
+		t.Fatal("equal priorities must tie-break by Node")
+	}
+	if a.Less(a) {
+		t.Fatal("Less must be irreflexive")
+	}
+}
+
+func TestLessIsStrictWeakOrder(t *testing.T) {
+	err := quick.Check(func(raw []uint32) bool {
+		ts := make([]Task, len(raw))
+		for i, r := range raw {
+			ts[i] = Task{Node: r % 16, Prio: int64(r>>4) % 16}
+		}
+		sort.Slice(ts, func(i, j int) bool { return ts[i].Less(ts[j]) })
+		for i := 1; i < len(ts); i++ {
+			if ts[i].Less(ts[i-1]) {
+				return false // not totally ordered
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNegativePriorities(t *testing.T) {
+	// Coloring uses negative priorities (higher degree = more negative).
+	hi := Task{Node: 0, Prio: -100}
+	lo := Task{Node: 0, Prio: -1}
+	if !hi.Less(lo) {
+		t.Fatal("more negative priority must sort first")
+	}
+}

@@ -1,0 +1,102 @@
+// Package workload implements the paper's six task-parallel graph benchmarks
+// (§IV-D): delta-stepping SSSP, A*, BFS, Boruvka MST, saturation/priority
+// graph coloring, and push-style residual PageRank. Every workload exposes
+// the same task interface so it can run unchanged under any scheduler — the
+// deterministic simulator or the native goroutine runtime — and carries an
+// independent sequential reference used to verify results and to measure
+// work efficiency.
+package workload
+
+import (
+	"fmt"
+
+	"hdcps/internal/graph"
+	"hdcps/internal/pq"
+	"hdcps/internal/task"
+)
+
+// Workload is a task-parallel algorithm instance over a fixed graph.
+//
+// Process must tolerate relaxed priority order and duplicated/stale tasks:
+// schedulers may execute tasks in any order, and a correct workload
+// converges to the same answer regardless (possibly doing redundant work,
+// which is exactly what the paper's work-efficiency metric captures).
+//
+// Implementations use atomic operations on their state so Process may be
+// called concurrently by the native runtime; the simulator calls it from a
+// single goroutine.
+type Workload interface {
+	// Name returns the benchmark's short name (e.g. "sssp").
+	Name() string
+	// Graph returns the input graph the workload runs over.
+	Graph() *graph.CSR
+	// Reset re-initializes all algorithm state for a fresh run.
+	Reset()
+	// InitialTasks returns the tasks that seed the computation.
+	InitialTasks() []task.Task
+	// Process executes one task, calling emit for every child task it
+	// creates, and returns the number of edges examined (the simulator's
+	// compute-cost input).
+	Process(t task.Task, emit func(task.Task)) int
+	// Clone returns a fresh instance with identical parameters and
+	// independent state, used to run the sequential baseline.
+	Clone() Workload
+	// Verify checks the converged state against an independent sequential
+	// reference and returns a descriptive error on mismatch.
+	Verify() error
+}
+
+// RunSequential drains w's task graph in strict priority order with a
+// single priority queue and returns the number of tasks processed. It is
+// the sequential baseline of the paper's work-efficiency and speedup
+// metrics. Call it on a Clone, not on the instance a scheduler will run.
+func RunSequential(w Workload) int64 {
+	w.Reset()
+	q := pq.NewBinaryHeap(1024)
+	for _, t := range w.InitialTasks() {
+		q.Push(t)
+	}
+	var n int64
+	for {
+		t, ok := q.Pop()
+		if !ok {
+			break
+		}
+		n++
+		w.Process(t, q.Push)
+	}
+	return n
+}
+
+// New constructs a workload by name with default parameters. Recognized
+// names: sssp, astar, bfs, mst, color, pagerank (alias pr).
+func New(name string, g *graph.CSR) (Workload, error) {
+	switch name {
+	case "sssp":
+		return NewSSSP(g, graph.LargestComponentSeed(g), 0), nil
+	case "astar":
+		src := graph.LargestComponentSeed(g)
+		// Deterministic far-away target: the node at the opposite corner of
+		// the ID space, which for lattice-coordinate graphs is geometrically
+		// far from the default source.
+		dst := graph.NodeID(g.NumNodes() - 1 - int(src))
+		return NewAStar(g, src, dst, 0), nil
+	case "bfs":
+		return NewBFS(g, graph.LargestComponentSeed(g)), nil
+	case "mst":
+		return NewMST(g), nil
+	case "color":
+		return NewColor(g), nil
+	case "pagerank", "pr":
+		return NewPageRank(g, 0), nil
+	default:
+		return nil, fmt.Errorf("workload: unknown workload %q", name)
+	}
+}
+
+// Names lists the available workload names in the paper's order.
+func Names() []string {
+	return []string{"sssp", "astar", "bfs", "mst", "color", "pagerank"}
+}
+
+const inf = int64(1) << 60
