@@ -1,0 +1,36 @@
+GO ?= go
+
+.PHONY: all build tier1 vet race bench bench-native ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+# Tier-1: the gate every change must keep green (ROADMAP.md).
+tier1: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race tier: the concurrency-heavy packages under the race detector. The
+# native runtime, the MPSC ring, the payload transport, and the parallel
+# experiment driver are where a data race would actually live. The exp run
+# is scoped to the driver tests: racing the full figure suite is ~10min on
+# one core and exercises no concurrency the driver tests don't.
+race:
+	$(GO) test -race ./internal/rq/... ./internal/runtime/... ./internal/bag/...
+	$(GO) test -race -run 'TestParallel' -count=1 ./internal/exp/
+
+# Hot-path microbenchmarks (ring push/batch, heap arity, partitioner,
+# native runtime throughput). Compare runs with benchstat; see EXPERIMENTS.md.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkRingPush|BenchmarkHeapPushPop|BenchmarkPartition|BenchmarkNativeRuntime' \
+		-benchmem ./internal/rq/ ./internal/pq/ ./internal/bag/ ./internal/runtime/
+
+# Refresh BENCH_native.json for the current tree (label with the short SHA).
+bench-native:
+	$(GO) run ./cmd/hdcps-bench -native -label $$(git rev-parse --short HEAD) -o BENCH_native.json
+
+ci: tier1 vet race

@@ -9,6 +9,8 @@
 //	hdcps-bench -exp all             # the whole evaluation section
 //	hdcps-bench -list                # available experiments
 //	hdcps-bench -exp fig8 -scale large -seed 7
+//	hdcps-bench -exp all -par 8      # run the experiment grid on 8 workers
+//	hdcps-bench -native -label pr1 -o BENCH_native.json   # native runtime perf
 package main
 
 import (
@@ -29,8 +31,23 @@ func main() {
 		cores  = flag.Int("cores", 40, "software-mode core count (hardware experiments always use Table I's 64)")
 		format = flag.String("format", "table", "output format: table or csv")
 		list   = flag.Bool("list", false, "list experiments and exit")
+		par    = flag.Int("par", 0, "experiment grid worker pool size (0 = GOMAXPROCS)")
+
+		native  = flag.Bool("native", false, "benchmark the native goroutine runtime and emit BENCH_native.json")
+		label   = flag.String("label", "dev", "label for the -native run (e.g. a commit or PR id)")
+		out     = flag.String("o", "BENCH_native.json", "output path for -native (\"-\" for stdout)")
+		workers = flag.Int("workers", 4, "native runtime worker count for -native")
+		reps    = flag.Int("reps", 20, "repetitions per workload for -native")
 	)
 	flag.Parse()
+
+	if *native {
+		if err := runNativeBench(*label, *scale, *out, *workers, *reps, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "hdcps-bench: native bench failed: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list || *id == "" {
 		fmt.Println("experiments:")
@@ -41,7 +58,7 @@ func main() {
 		return
 	}
 
-	opts := exp.Options{Scale: *scale, Seed: *seed, Cores: *cores}
+	opts := exp.Options{Scale: *scale, Seed: *seed, Cores: *cores, Par: *par}
 	ids := []string{strings.ToLower(*id)}
 	if *id == "all" {
 		ids = exp.IDs()

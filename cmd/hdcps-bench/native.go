@@ -1,0 +1,164 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	stdruntime "runtime"
+	"sort"
+	"time"
+
+	"hdcps/internal/graph"
+	"hdcps/internal/runtime"
+	"hdcps/internal/workload"
+)
+
+// The -native mode benchmarks the goroutine HD-CPS runtime on the host and
+// emits a machine-readable BENCH_native.json document, so the perf
+// trajectory of the native runtime is diffable across PRs (the README
+// documents the schema and how to compare two runs).
+
+// NativeBenchDoc is the top-level BENCH_native.json document. Runs
+// accumulate: re-running the tool with -o against an existing file appends
+// the new labeled run, so a single file carries the whole trajectory.
+type NativeBenchDoc struct {
+	Schema string           `json:"schema"` // "hdcps-native-bench/v1"
+	Runs   []NativeBenchRun `json:"runs"`
+}
+
+// NativeBenchRun is one labeled benchmark sweep across all workloads.
+type NativeBenchRun struct {
+	Label     string               `json:"label"`
+	GoVersion string               `json:"go_version"`
+	GOOS      string               `json:"goos"`
+	GOARCH    string               `json:"goarch"`
+	CPUs      int                  `json:"cpus"`
+	Workers   int                  `json:"workers"`
+	Graph     string               `json:"graph"`
+	Seed      uint64               `json:"seed"`
+	Reps      int                  `json:"reps"`
+	Workloads []NativeBenchMeasure `json:"workloads"`
+}
+
+// NativeBenchMeasure is one workload's measurement: throughput, allocation
+// rate, and the spread of per-run completion times.
+type NativeBenchMeasure struct {
+	Workload      string  `json:"workload"`
+	TasksPerOp    float64 `json:"tasks_per_op"`    // tasks processed per run
+	TasksPerSec   float64 `json:"tasks_per_sec"`   // aggregate throughput
+	AllocsPerTask float64 `json:"allocs_per_task"` // heap allocations amortized per task
+	P50Ms         float64 `json:"p50_ms"`          // median per-run completion time
+	P99Ms         float64 `json:"p99_ms"`          // tail per-run completion time
+}
+
+// nativeGraph maps the -scale flag to the benchmark input, mirroring the
+// sizing ladder of internal/exp (tiny is what BenchmarkNativeRuntime uses).
+func nativeGraph(scale string, seed uint64) (*graph.CSR, string, error) {
+	switch scale {
+	case "tiny":
+		return graph.Road(48, 48, seed), "road-48x48", nil
+	case "small":
+		return graph.Road(120, 120, seed), "road-120x120", nil
+	case "large":
+		return graph.Road(240, 240, seed), "road-240x240", nil
+	}
+	return nil, "", fmt.Errorf("unknown scale %q (tiny, small, large)", scale)
+}
+
+func runNativeBench(label, scale, out string, workers, reps int, seed uint64) error {
+	g, gname, err := nativeGraph(scale, seed)
+	if err != nil {
+		return err
+	}
+	if workers <= 0 {
+		workers = 4
+	}
+	if reps <= 0 {
+		reps = 20
+	}
+	run := NativeBenchRun{
+		Label:     label,
+		GoVersion: stdruntime.Version(),
+		GOOS:      stdruntime.GOOS,
+		GOARCH:    stdruntime.GOARCH,
+		CPUs:      stdruntime.NumCPU(),
+		Workers:   workers,
+		Graph:     gname,
+		Seed:      seed,
+		Reps:      reps,
+	}
+	cfg := runtime.DefaultConfig(workers)
+	cfg.Seed = seed
+	for _, name := range workload.Names() {
+		w, err := workload.New(name, g)
+		if err != nil {
+			return err
+		}
+		// Warm up once (first run pays graph/page faults and heap growth).
+		runtime.Run(w, cfg)
+
+		times := make([]time.Duration, 0, reps)
+		var tasks int64
+		var ms0, ms1 stdruntime.MemStats
+		stdruntime.GC()
+		stdruntime.ReadMemStats(&ms0)
+		var total time.Duration
+		for i := 0; i < reps; i++ {
+			res := runtime.Run(w, cfg)
+			times = append(times, res.Elapsed)
+			total += res.Elapsed
+			tasks += res.TasksProcessed
+		}
+		stdruntime.ReadMemStats(&ms1)
+		if err := w.Verify(); err != nil {
+			return fmt.Errorf("native bench: %s wrong result: %w", name, err)
+		}
+		sort.Slice(times, func(a, b int) bool { return times[a] < times[b] })
+		m := NativeBenchMeasure{
+			Workload:      name,
+			TasksPerOp:    float64(tasks) / float64(reps),
+			TasksPerSec:   float64(tasks) / total.Seconds(),
+			AllocsPerTask: float64(ms1.Mallocs-ms0.Mallocs) / float64(tasks),
+			P50Ms:         durMs(percentile(times, 0.50)),
+			P99Ms:         durMs(percentile(times, 0.99)),
+		}
+		run.Workloads = append(run.Workloads, m)
+		fmt.Fprintf(os.Stderr, "native %-10s %10.0f tasks/s  %6.2f allocs/task  p50 %.2fms  p99 %.2fms\n",
+			name, m.TasksPerSec, m.AllocsPerTask, m.P50Ms, m.P99Ms)
+	}
+
+	doc := NativeBenchDoc{Schema: "hdcps-native-bench/v1"}
+	if prev, err := os.ReadFile(out); err == nil {
+		var existing NativeBenchDoc
+		if err := json.Unmarshal(prev, &existing); err == nil && existing.Schema == doc.Schema {
+			// Replace a same-labeled run in place, keep the others.
+			for _, r := range existing.Runs {
+				if r.Label != label {
+					doc.Runs = append(doc.Runs, r)
+				}
+			}
+		}
+	}
+	doc.Runs = append(doc.Runs, run)
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(out, buf, 0o644)
+}
+
+// percentile returns the q-quantile of sorted durations (nearest-rank).
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func durMs(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }

@@ -189,6 +189,75 @@ func TestPartitionConservation(t *testing.T) {
 	}
 }
 
+// TestPartitionerMatchesPartition is the equivalence property: for any
+// children list and policy shape, the reusable-scratch Partitioner must
+// produce exactly the bags and singles of the allocating Partition,
+// including bag boundaries, IDs, priorities, and ordering — and it must
+// keep doing so across reuse of the same Partitioner.
+func TestPartitionerMatchesPartition(t *testing.T) {
+	var pt Partitioner
+	err := quick.Check(func(raw []int8, mode uint8, minSize, maxSize uint8, shift uint8) bool {
+		children := make([]task.Task, len(raw))
+		for i, p := range raw {
+			children[i] = task.Task{Node: uint32(i), Prio: int64(p)}
+		}
+		pol := Policy{
+			Mode:       Mode(mode % 3),
+			MinSize:    int(minSize % 6),
+			MaxSize:    int(maxSize % 12),
+			QuantShift: uint(shift % 5),
+		}
+		var c1, c2 Counter
+		wantBags, wantSingles := Partition(children, pol, c1.Next)
+		gotBags, gotSingles := pt.Partition(children, pol, c2.Next)
+		if len(wantBags) != len(gotBags) || len(wantSingles) != len(gotSingles) {
+			t.Logf("shape mismatch: %d/%d bags, %d/%d singles",
+				len(gotBags), len(wantBags), len(gotSingles), len(wantSingles))
+			return false
+		}
+		for i := range wantBags {
+			w, g := wantBags[i], gotBags[i]
+			if w.ID != g.ID || w.Prio != g.Prio || len(w.Tasks) != len(g.Tasks) {
+				return false
+			}
+			for j := range w.Tasks {
+				if w.Tasks[j] != g.Tasks[j] {
+					return false
+				}
+			}
+		}
+		for i := range wantSingles {
+			if wantSingles[i] != gotSingles[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPartition(b *testing.B) {
+	children := mkTasks(4, 4, 4, 4, 5, 5, 8, 9, 4, 5, 5, 4)
+	pol := DefaultPolicy()
+	b.Run("map", func(b *testing.B) {
+		var c Counter
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Partition(children, pol, c.Next)
+		}
+	})
+	b.Run("scratch", func(b *testing.B) {
+		var c Counter
+		var pt Partitioner
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pt.Partition(children, pol, c.Next)
+		}
+	})
+}
+
 func TestTransportString(t *testing.T) {
 	if Pull.String() != "pull" || Push.String() != "push" {
 		t.Fatal("transport names wrong")

@@ -10,7 +10,10 @@ import (
 	"fmt"
 	"io"
 	"math"
+	stdruntime "runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Options control an experiment run.
@@ -22,6 +25,11 @@ type Options struct {
 	Seed uint64
 	// Cores overrides the software-mode core count (default 40, the Xeon).
 	Cores int
+	// Par bounds the worker pool that evaluates an experiment's
+	// scheduler×workload grid (default GOMAXPROCS, min 1). Cells are
+	// deterministic and independent, so any Par produces bit-identical
+	// Results; Par only changes wall time.
+	Par int
 }
 
 func (o Options) normalized() Options {
@@ -33,6 +41,9 @@ func (o Options) normalized() Options {
 	}
 	if o.Cores == 0 {
 		o.Cores = 40
+	}
+	if o.Par <= 0 {
+		o.Par = stdruntime.GOMAXPROCS(0)
 	}
 	return o
 }
@@ -123,6 +134,58 @@ func (r Result) FormatCSV(w io.Writer) {
 		}
 		fmt.Fprintln(w)
 	}
+}
+
+// parallelMap evaluates f(0..n-1) on a bounded pool of `workers` goroutines
+// and returns the results in index order. Cells must be independent and
+// deterministic; because each result lands at its own index, the output is
+// bit-identical to a sequential loop regardless of pool size (the property
+// TestParallelDriverBitIdentical pins down). On error it returns the
+// completed results alongside the error with the smallest index — the same
+// error a sequential loop would surface first.
+func parallelMap[T any](n, workers int, f func(int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			var err error
+			if out[i], err = f(i); err != nil {
+				return out, err
+			}
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = f(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// pairRows computes one Row per pair on the Options' worker pool,
+// preserving pair order.
+func pairRows(ps []Pair, o Options, f func(Pair) (Row, error)) ([]Row, error) {
+	return parallelMap(len(ps), o.Par, func(i int) (Row, error) { return f(ps[i]) })
 }
 
 // geomeanRow appends a geometric-mean row over the existing rows.

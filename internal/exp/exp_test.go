@@ -2,11 +2,15 @@ package exp
 
 import (
 	"bytes"
+	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 )
 
 func tinyOpts() Options { return Options{Scale: "tiny", Seed: 7, Cores: 8} }
+
+func errAt(i int) error { return fmt.Errorf("cell %d failed", i) }
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig7",
@@ -125,6 +129,68 @@ func TestFig6Shape(t *testing.T) {
 	if gm.Values["hrq+hpq"] > gm.Values["hrq"] {
 		t.Errorf("hRQ+hPQ (%v) not at least as good as hRQ alone (%v)",
 			gm.Values["hrq+hpq"], gm.Values["hrq"])
+	}
+}
+
+// TestParallelDriverBitIdentical pins the parallel grid driver's contract:
+// any Par produces exactly the Result a sequential run produces — same rows,
+// same labels, same float bits. Experiments whose cells are deterministic
+// simulator runs must not observe the pool size. fig10 is excluded by
+// design (its native column is wall-clock), so the suite here covers the
+// representative shapes: pairRows (fig3), sweep-after-base (fig15), and a
+// thread sweep (fig4).
+func TestParallelDriverBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs each experiment twice; slow")
+	}
+	for _, id := range []string{"fig3", "fig4", "fig15"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, _ := Get(id)
+			seq := tinyOpts()
+			seq.Par = 1
+			par := tinyOpts()
+			par.Par = 4
+			a, err := e.Run(seq)
+			if err != nil {
+				t.Fatalf("sequential run: %v", err)
+			}
+			b, err := e.Run(par)
+			if err != nil {
+				t.Fatalf("parallel run: %v", err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("Par=1 and Par=4 diverged:\nseq: %+v\npar: %+v", a, b)
+			}
+		})
+	}
+}
+
+func TestParallelMap(t *testing.T) {
+	square := func(i int) (int, error) { return i * i, nil }
+	for _, workers := range []int{1, 3, 8} {
+		got, err := parallelMap(5, workers, square)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := []int{0, 1, 4, 9, 16}; !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: got %v want %v", workers, got, want)
+		}
+	}
+	// Error surfacing: the smallest-index error wins, matching a sequential
+	// loop's first failure.
+	boom := func(i int) (int, error) {
+		if i%2 == 1 {
+			return 0, errAt(i)
+		}
+		return i, nil
+	}
+	_, err := parallelMap(6, 4, boom)
+	if err == nil || err.Error() != "cell 1 failed" {
+		t.Fatalf("got %v, want cell 1 failure", err)
+	}
+	if _, err := parallelMap(0, 4, square); err != nil {
+		t.Fatalf("empty map: %v", err)
 	}
 }
 

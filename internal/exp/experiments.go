@@ -99,17 +99,17 @@ func fig3(o Options) (Result, error) {
 	names := []string{"reld", "obim", "swminnow", "hdcps-sw"}
 	res := Result{ID: "fig3", Title: "Completion time (and drift) normalized to PMOD, software mode",
 		Series: []string{"reld", "obim", "swminnow", "hdcps-sw", "drift-reld", "drift-hdcps"}}
-	for _, p := range pairs() {
+	rows, err := pairRows(pairs(), o, func(p Pair) (Row, error) {
 		base, err := runOne(sched.PMOD(), set, p, cfg, o)
 		if err != nil {
-			return res, err
+			return Row{}, err
 		}
 		row := Row{Label: p.Label(), Values: map[string]float64{}}
 		for _, n := range names {
 			s, _ := sched.ByName(n)
 			r, err := runOne(s, set, p, cfg, o)
 			if err != nil {
-				return res, err
+				return Row{}, err
 			}
 			row.Values[n] = ratio(r.CompletionTime, base.CompletionTime)
 			switch n {
@@ -119,8 +119,12 @@ func fig3(o Options) (Result, error) {
 				row.Values["drift-hdcps"] = ratioF(r.AvgDrift(), base.AvgDrift())
 			}
 		}
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return res, err
 	}
+	res.Rows = rows
 	geomeanRow(&res)
 	res.Notes = append(res.Notes, "values < 1 are faster than PMOD; paper: RELD >2.2x, HD-CPS:SW ~0.8x (1.25x speedup)")
 	return res, nil
@@ -148,21 +152,26 @@ func fig4(o Options) (Result, error) {
 		}
 		seqTimes[p.Label()] = r.CompletionTime
 	}
-	for _, th := range threads {
+	rows, err := parallelMap(len(threads), o.Par, func(i int) (Row, error) {
+		th := threads[i]
 		row := Row{Label: fmt.Sprintf("threads=%d", th), Values: map[string]float64{}}
 		for _, p := range subset {
 			for _, sname := range []string{"pmod", "hdcps-sw"} {
 				s, _ := sched.ByName(sname)
 				r, err := runOne(s, set, p, sim.DefaultSW(th), o)
 				if err != nil {
-					return res, err
+					return Row{}, err
 				}
 				row.Values[fmt.Sprintf("%s/%s", sname, p.Label())] =
 					ratio(seqTimes[p.Label()], r.CompletionTime)
 			}
 		}
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return res, err
 	}
+	res.Rows = rows
 	res.Notes = append(res.Notes, "paper: HD-CPS:SW at or above PMOD, gap widening with cores")
 	return res, nil
 }
@@ -178,25 +187,29 @@ func fig5(o Options) (Result, error) {
 	res := Result{ID: "fig5", Title: "HD-CPS:SW variants normalized to RELD",
 		Series: append([]string(nil), variants...)}
 	res.Series = append(res.Series, "drift-sc")
-	for _, p := range pairs() {
+	rows, err := pairRows(pairs(), o, func(p Pair) (Row, error) {
 		base, err := runOne(sched.RELD(), set, p, cfg, o)
 		if err != nil {
-			return res, err
+			return Row{}, err
 		}
 		row := Row{Label: p.Label(), Values: map[string]float64{}}
 		for _, v := range variants {
 			s, _ := sched.ByName(v)
 			r, err := runOne(s, set, p, cfg, o)
 			if err != nil {
-				return res, err
+				return Row{}, err
 			}
 			row.Values[v] = ratio(r.CompletionTime, base.CompletionTime)
 			if v == "hdcps-sw" {
 				row.Values["drift-sc"] = ratioF(r.AvgDrift(), base.AvgDrift())
 			}
 		}
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return res, err
 	}
+	res.Rows = rows
 	geomeanRow(&res)
 	res.Notes = append(res.Notes,
 		"paper speedups over RELD: sRQ 1.3x, +TDF 2x, +AC 1.9x, +SC 2.4x (values here are time ratios; lower is better)")
@@ -213,27 +226,31 @@ func fig6(o Options) (Result, error) {
 	base.HRQSize, base.HPQSize = 0, 0 // software-only on the Table I machine
 	res := Result{ID: "fig6", Title: "HD-CPS:HW variants normalized to HD-CPS:SW (64 cores)",
 		Series: []string{"hrq", "hrq+hpq", "enq", "deq", "comp", "comm"}}
-	for _, p := range pairs() {
+	rows, err := pairRows(pairs(), o, func(p Pair) (Row, error) {
 		sw, err := runOne(sched.HDCPSSW(), set, p, base, o)
 		if err != nil {
-			return res, err
+			return Row{}, err
 		}
 		row := Row{Label: p.Label(), Values: map[string]float64{}}
 		hr, err := runOne(sched.VariantHRQ(), set, p, base, o)
 		if err != nil {
-			return res, err
+			return Row{}, err
 		}
 		row.Values["hrq"] = ratio(hr.CompletionTime, sw.CompletionTime)
 		hb, err := runOne(sched.HDCPSHW(), set, p, base, o)
 		if err != nil {
-			return res, err
+			return Row{}, err
 		}
 		row.Values["hrq+hpq"] = ratio(hb.CompletionTime, sw.CompletionTime)
 		frac := hb.Breakdown.Normalized(hb.Breakdown.Total())
 		row.Values["enq"], row.Values["deq"], row.Values["comp"], row.Values["comm"] =
 			frac[0], frac[1], frac[2], frac[3]
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return res, err
 	}
+	res.Rows = rows
 	geomeanRow(&res)
 	res.Notes = append(res.Notes, "paper: hRQ ~10% faster, hRQ+hPQ ~20% faster than HD-CPS:SW")
 	return res, nil
@@ -282,16 +299,21 @@ func fig7(o Options) (Result, error) {
 	if err != nil {
 		return res, err
 	}
-	for _, sw := range sweeps {
+	rows, err := parallelMap(len(sweeps), o.Par, func(i int) (Row, error) {
+		sw := sweeps[i]
 		t, err := timeFor(sw.hrq, sw.hpq)
 		if err != nil {
-			return res, err
+			return Row{}, err
 		}
-		res.Rows = append(res.Rows, Row{
+		return Row{
 			Label:  fmt.Sprintf("hRQ=%d,hPQ=%d", sw.hrq, sw.hpq),
 			Values: map[string]float64{"geomean": base / t},
-		})
+		}, nil
+	})
+	if err != nil {
+		return res, err
 	}
+	res.Rows = rows
 	res.Notes = append(res.Notes, "paper picks (32, 48): larger sizes saturate, smaller hRQ loses performance")
 	return res, nil
 }
@@ -305,22 +327,26 @@ func fig8(o Options) (Result, error) {
 	cfg := sim.DefaultHW()
 	res := Result{ID: "fig8", Title: "Speedup over sequential on the 64-core simulator",
 		Series: []string{"hwminnow", "hdcps-hw", "swarm"}}
-	for _, p := range pairs() {
+	rows, err := pairRows(pairs(), o, func(p Pair) (Row, error) {
 		seq, err := runOne(sched.Sequential{}, set, p, sim.DefaultSW(1), o)
 		if err != nil {
-			return res, err
+			return Row{}, err
 		}
 		row := Row{Label: p.Label(), Values: map[string]float64{}}
 		for _, n := range res.Series {
 			s, _ := sched.ByName(n)
 			r, err := runOne(s, set, p, cfg, o)
 			if err != nil {
-				return res, err
+				return Row{}, err
 			}
 			row.Values[n] = ratio(seq.CompletionTime, r.CompletionTime)
 		}
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return res, err
 	}
+	res.Rows = rows
 	geomeanRow(&res)
 	res.Notes = append(res.Notes, "paper geomeans: Minnow 48x, HD-CPS:HW 61x, Swarm 66x")
 	return res, nil
@@ -335,26 +361,30 @@ func fig9(o Options) (Result, error) {
 	cfg := sim.DefaultHW()
 	res := Result{ID: "fig9", Title: "Completion time breakdowns normalized to Swarm",
 		Series: []string{"hwminnow", "hdcps-hw", "hdcps-we", "minnow-we", "swarm-we"}}
-	for _, p := range pairs() {
+	rows, err := pairRows(pairs(), o, func(p Pair) (Row, error) {
 		sw, err := runOne(sched.Swarm(), set, p, cfg, o)
 		if err != nil {
-			return res, err
+			return Row{}, err
 		}
 		row := Row{Label: p.Label(), Values: map[string]float64{"swarm-we": sw.WorkEfficiency()}}
 		mn, err := runOne(sched.HWMinnow(), set, p, cfg, o)
 		if err != nil {
-			return res, err
+			return Row{}, err
 		}
 		row.Values["hwminnow"] = ratio(mn.CompletionTime, sw.CompletionTime)
 		row.Values["minnow-we"] = mn.WorkEfficiency()
 		hd, err := runOne(sched.HDCPSHW(), set, p, cfg, o)
 		if err != nil {
-			return res, err
+			return Row{}, err
 		}
 		row.Values["hdcps-hw"] = ratio(hd.CompletionTime, sw.CompletionTime)
 		row.Values["hdcps-we"] = hd.WorkEfficiency()
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return res, err
 	}
+	res.Rows = rows
 	geomeanRow(&res)
 	res.Notes = append(res.Notes,
 		"paper: HD-CPS:HW within ~7% of Swarm, ~8% faster than Minnow; Swarm has the best work efficiency")
@@ -376,15 +406,23 @@ func fig10(o Options) (Result, error) {
 	workers := 1
 	subset := []Pair{{"sssp", "road"}, {"bfs", "road"}, {"sssp", "cage"},
 		{"astar", "road"}, {"mst", "road"}, {"color", "web"}}
-	var simT, natT []float64
 	res := Result{ID: "fig10", Title: "Simulator vs native Go runtime (normalized trends)",
 		Series: []string{"sim", "native", "variation"}}
-	for _, p := range subset {
-		r, err := runOne(sched.HDCPSSW(), set, p, sim.DefaultSW(workers), o)
+	// Simulated times are deterministic cycle counts, so those cells fan out
+	// on the pool. Native times are wall-clock: concurrent native runs would
+	// contend for the CPU and distort Elapsed, so they stay sequential.
+	simT, err := parallelMap(len(subset), o.Par, func(i int) (float64, error) {
+		r, err := runOne(sched.HDCPSSW(), set, subset[i], sim.DefaultSW(workers), o)
 		if err != nil {
-			return res, err
+			return 0, err
 		}
-		simT = append(simT, float64(r.CompletionTime))
+		return float64(r.CompletionTime), nil
+	})
+	if err != nil {
+		return res, err
+	}
+	var natT []float64
+	for _, p := range subset {
 		w, err := set.workloadFor(p)
 		if err != nil {
 			return res, err
@@ -424,25 +462,36 @@ func fig11(o Options) (Result, error) {
 	for _, p := range subset {
 		res.Series = append(res.Series, p.Label())
 	}
-	baseTimes := map[string]int64{}
-	for _, p := range subset {
-		r, err := runOne(sched.SWMinnow(4), set, p, sim.DefaultSW(o.Cores), o)
+	baseRuns, err := parallelMap(len(subset), o.Par, func(i int) (int64, error) {
+		r, err := runOne(sched.SWMinnow(4), set, subset[i], sim.DefaultSW(o.Cores), o)
 		if err != nil {
-			return res, err
+			return 0, err
 		}
-		baseTimes[p.Label()] = r.CompletionTime
+		return r.CompletionTime, nil
+	})
+	if err != nil {
+		return res, err
 	}
-	for _, m := range splits {
+	baseTimes := map[string]int64{}
+	for i, p := range subset {
+		baseTimes[p.Label()] = baseRuns[i]
+	}
+	rows, err := parallelMap(len(splits), o.Par, func(i int) (Row, error) {
+		m := splits[i]
 		row := Row{Label: fmt.Sprintf("%d-%d", o.Cores-m, m), Values: map[string]float64{}}
 		for _, p := range subset {
 			r, err := runOne(sched.SWMinnow(m), set, p, sim.DefaultSW(o.Cores), o)
 			if err != nil {
-				return res, err
+				return Row{}, err
 			}
 			row.Values[p.Label()] = ratio(r.CompletionTime, baseTimes[p.Label()])
 		}
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return res, err
 	}
+	res.Rows = rows
 	res.Notes = append(res.Notes, "paper: 36-4 is the best geomean split; sparse road likes more minnows, dense fewer")
 	return res, nil
 }
@@ -459,14 +508,14 @@ func fig12(o Options) (Result, error) {
 	const intervals = 3
 	res := Result{ID: "fig12", Title: "HD-CPS:HW vs Dynamic Oracle, normalized to PMOD",
 		Series: []string{"hdcps-hw", "oracle"}}
-	for _, p := range subset {
+	rows, err := pairRows(subset, o, func(p Pair) (Row, error) {
 		base, err := runOne(sched.PMOD(), set, p, cfg, o)
 		if err != nil {
-			return res, err
+			return Row{}, err
 		}
 		hd, err := runOne(sched.HDCPSHW(), set, p, cfg, o)
 		if err != nil {
-			return res, err
+			return Row{}, err
 		}
 		// Oracle: greedy per-interval sweep (§III-C), then a final run with
 		// the chosen schedule.
@@ -488,13 +537,17 @@ func fig12(o Options) (Result, error) {
 		})
 		orr, err := runOne(or, set, p, cfg, o)
 		if err != nil {
-			return res, err
+			return Row{}, err
 		}
-		res.Rows = append(res.Rows, Row{Label: p.Label(), Values: map[string]float64{
+		return Row{Label: p.Label(), Values: map[string]float64{
 			"hdcps-hw": ratio(hd.CompletionTime, base.CompletionTime),
 			"oracle":   ratio(orr.CompletionTime, base.CompletionTime),
-		}})
+		}}, nil
+	})
+	if err != nil {
+		return res, err
 	}
+	res.Rows = rows
 	geomeanRow(&res)
 	res.Notes = append(res.Notes, "paper: heuristic comparable to oracle; oracle slightly ahead on divergent-priority inputs")
 	return res, nil
@@ -508,46 +561,55 @@ func fig13(o Options) (Result, error) {
 	}
 	cfg := sim.DefaultHW()
 	subset := []Pair{{"sssp", "cage"}, {"sssp", "road"}, {"pagerank", "web"}}
-	base := map[string]int64{}
-	for _, p := range subset {
-		r, err := runOne(sched.PMOD(), set, p, cfg, o)
+	baseRuns, err := parallelMap(len(subset), o.Par, func(i int) (int64, error) {
+		r, err := runOne(sched.PMOD(), set, subset[i], cfg, o)
 		if err != nil {
-			return res13(), err
+			return 0, err
 		}
-		base[p.Label()] = r.CompletionTime
+		return r.CompletionTime, nil
+	})
+	if err != nil {
+		return res13(), err
+	}
+	base := map[string]int64{}
+	for i, p := range subset {
+		base[p.Label()] = baseRuns[i]
 	}
 	res := res13()
-	runCfg := func(label string, d drift.Config) error {
+	type cfgCase struct {
+		label string
+		d     drift.Config
+	}
+	var cases []cfgCase
+	for _, iv := range []int{100, 500, 1000, 2000, 2500} {
+		cases = append(cases, cfgCase{fmt.Sprintf("A:interval=%d", iv), drift.Config{SampleInterval: iv}})
+	}
+	for _, st := range []int{5, 10, 20, 30} {
+		cases = append(cases, cfgCase{fmt.Sprintf("B:step=%d", st), drift.Config{Step: st}})
+	}
+	for _, it := range []int{10, 30, 50, 70, 90} {
+		cases = append(cases, cfgCase{fmt.Sprintf("C:init=%d", it), drift.Config{InitialTDF: it}})
+	}
+	rows, err := parallelMap(len(cases), o.Par, func(i int) (Row, error) {
+		c := cases[i]
 		s := sched.NewCPS(sched.CPSConfig{
-			Label: label, UseRQ: true, UseTDF: true, Bags: bag.DefaultPolicy(), Drift: d,
+			Label: c.label, UseRQ: true, UseTDF: true, Bags: bag.DefaultPolicy(), Drift: c.d,
 		})
 		var ratios []float64
 		for _, p := range subset {
 			r, err := runOne(s, set, p, cfg, o)
 			if err != nil {
-				return err
+				return Row{}, err
 			}
 			ratios = append(ratios, float64(base[p.Label()])/float64(r.CompletionTime))
 		}
-		res.Rows = append(res.Rows, Row{Label: label,
-			Values: map[string]float64{"speedup-vs-pmod": stats.Geomean(ratios)}})
-		return nil
+		return Row{Label: c.label,
+			Values: map[string]float64{"speedup-vs-pmod": stats.Geomean(ratios)}}, nil
+	})
+	if err != nil {
+		return res, err
 	}
-	for _, iv := range []int{100, 500, 1000, 2000, 2500} {
-		if err := runCfg(fmt.Sprintf("A:interval=%d", iv), drift.Config{SampleInterval: iv}); err != nil {
-			return res, err
-		}
-	}
-	for _, st := range []int{5, 10, 20, 30} {
-		if err := runCfg(fmt.Sprintf("B:step=%d", st), drift.Config{Step: st}); err != nil {
-			return res, err
-		}
-	}
-	for _, it := range []int{10, 30, 50, 70, 90} {
-		if err := runCfg(fmt.Sprintf("C:init=%d", it), drift.Config{InitialTDF: it}); err != nil {
-			return res, err
-		}
-	}
+	res.Rows = rows
 	res.Notes = append(res.Notes, "paper picks interval 2000, step 10%, initial 50%; initial TDF is insensitive")
 	return res, nil
 }
@@ -569,7 +631,7 @@ func fig14(o Options) (Result, error) {
 	// The push/pull gap is small relative to order noise at reduced scale,
 	// so every cell averages a few seeds.
 	seeds := []uint64{o.Seed, o.Seed + 1, o.Seed + 2}
-	for _, p := range pairs() {
+	rows, err := pairRows(pairs(), o, func(p Pair) (Row, error) {
 		avg := func(run func(Options) (stats.Run, error)) (float64, error) {
 			var times []float64
 			for _, seed := range seeds {
@@ -587,7 +649,7 @@ func fig14(o Options) (Result, error) {
 			return runOne(sched.PMOD(), set, p, cfg, so)
 		})
 		if err != nil {
-			return res, err
+			return Row{}, err
 		}
 		row := Row{Label: p.Label(), Values: map[string]float64{}}
 		for _, tr := range []bag.Transport{bag.Push, bag.Pull} {
@@ -600,12 +662,16 @@ func fig14(o Options) (Result, error) {
 				return runOne(s, set, p, cfg, so)
 			})
 			if err != nil {
-				return res, err
+				return Row{}, err
 			}
 			row.Values[tr.String()] = baseT / t
 		}
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return res, err
 	}
+	res.Rows = rows
 	geomeanRow(&res)
 	res.Notes = append(res.Notes, "paper: pull ~1.5x better than push; push roughly at par with PMOD")
 	return res, nil
@@ -621,15 +687,23 @@ func fig15(o Options) (Result, error) {
 	subset := []Pair{{"sssp", "cage"}, {"sssp", "road"}, {"pagerank", "web"}, {"color", "web"}}
 	res := Result{ID: "fig15", Title: "Bag-creation threshold (geomean speedup vs PMOD)",
 		Series: []string{"speedup-vs-pmod"}}
-	base := map[string]int64{}
-	for _, p := range subset {
-		r, err := runOne(sched.PMOD(), set, p, cfg, o)
+	baseRuns, err := parallelMap(len(subset), o.Par, func(i int) (int64, error) {
+		r, err := runOne(sched.PMOD(), set, subset[i], cfg, o)
 		if err != nil {
-			return res, err
+			return 0, err
 		}
-		base[p.Label()] = r.CompletionTime
+		return r.CompletionTime, nil
+	})
+	if err != nil {
+		return res, err
 	}
-	for _, th := range []int{1, 2, 3, 4, 5} {
+	base := map[string]int64{}
+	for i, p := range subset {
+		base[p.Label()] = baseRuns[i]
+	}
+	thresholds := []int{1, 2, 3, 4, 5}
+	rows, err := parallelMap(len(thresholds), o.Par, func(i int) (Row, error) {
+		th := thresholds[i]
 		pol := bag.DefaultPolicy()
 		pol.MinSize = th
 		s := sched.NewCPS(sched.CPSConfig{
@@ -639,13 +713,17 @@ func fig15(o Options) (Result, error) {
 		for _, p := range subset {
 			r, err := runOne(s, set, p, cfg, o)
 			if err != nil {
-				return res, err
+				return Row{}, err
 			}
 			ratios = append(ratios, float64(base[p.Label()])/float64(r.CompletionTime))
 		}
-		res.Rows = append(res.Rows, Row{Label: fmt.Sprintf("threshold=%d", th),
-			Values: map[string]float64{"speedup-vs-pmod": stats.Geomean(ratios)}})
+		return Row{Label: fmt.Sprintf("threshold=%d", th),
+			Values: map[string]float64{"speedup-vs-pmod": stats.Geomean(ratios)}}, nil
+	})
+	if err != nil {
+		return res, err
 	}
+	res.Rows = rows
 	res.Notes = append(res.Notes, "paper: threshold 3 delivers the best overall performance")
 	return res, nil
 }
@@ -672,10 +750,10 @@ func motivation(o Options) (Result, error) {
 	for _, n := range names {
 		res.Series = append(res.Series, n, "we-"+n)
 	}
-	for _, p := range subset {
+	rows, err := pairRows(subset, o, func(p Pair) (Row, error) {
 		base, err := runOne(sched.HDCPSSW(), set, p, cfg, o)
 		if err != nil {
-			return res, err
+			return Row{}, err
 		}
 		row := Row{Label: p.Label(), Values: map[string]float64{
 			"hdcps-sw": 1.0, "we-hdcps-sw": base.WorkEfficiency(),
@@ -686,17 +764,21 @@ func motivation(o Options) (Result, error) {
 			}
 			s, err := sched.ByName(n)
 			if err != nil {
-				return res, err
+				return Row{}, err
 			}
 			r, err := runOne(s, set, p, cfg, o)
 			if err != nil {
-				return res, err
+				return Row{}, err
 			}
 			row.Values[n] = ratio(r.CompletionTime, base.CompletionTime)
 			row.Values["we-"+n] = r.WorkEfficiency()
 		}
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return res, err
 	}
+	res.Rows = rows
 	geomeanRow(&res)
 	res.Notes = append(res.Notes,
 		"expected: steal has the worst work efficiency, ordered the best but the worst time at scale, relaxed schedulers win overall (§II)")

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"sync"
 
 	"hdcps/internal/graph"
 	"hdcps/internal/workload"
@@ -64,24 +65,39 @@ type inputSet struct {
 	graphs map[string]*graph.CSR
 }
 
-var inputCache = map[string]*inputSet{}
+// inputMu guards inputCache: experiments may build inputs from concurrent
+// grid cells (parallelMap). Generation is deterministic per key, so a rare
+// duplicated build stores an identical set; the lock only protects the map.
+var (
+	inputMu    sync.Mutex
+	inputCache = map[string]*inputSet{}
+)
 
 func inputs(o Options) (*inputSet, error) {
 	key := fmt.Sprintf("%s-%d", o.Scale, o.Seed)
-	if s, ok := inputCache[key]; ok {
+	inputMu.Lock()
+	s, ok := inputCache[key]
+	inputMu.Unlock()
+	if ok {
 		return s, nil
 	}
 	sz, err := sizes(o.Scale)
 	if err != nil {
 		return nil, err
 	}
-	s := &inputSet{graphs: map[string]*graph.CSR{
+	s = &inputSet{graphs: map[string]*graph.CSR{
 		"road": graph.Road(sz.roadW, sz.roadH, o.Seed),
 		"cage": graph.Cage(sz.cageN, 34, 80, o.Seed),
 		"web":  graph.Web(sz.webN, o.Seed),
 		"lj":   graph.LJ(sz.ljN, o.Seed),
 	}}
-	inputCache[key] = s
+	inputMu.Lock()
+	if prior, ok := inputCache[key]; ok {
+		s = prior // keep the first stored set so pointers stay stable
+	} else {
+		inputCache[key] = s
+	}
+	inputMu.Unlock()
 	return s, nil
 }
 
@@ -95,12 +111,20 @@ func (s *inputSet) workloadFor(p Pair) (workload.Workload, error) {
 }
 
 // seqTasks caches the sequential task count per (scale, seed, pair) for
-// work-efficiency columns.
-var seqTaskCache = map[string]int64{}
+// work-efficiency columns. The count is deterministic, so concurrent grid
+// cells that miss simultaneously compute the same value; the mutex only
+// protects the map itself.
+var (
+	seqTaskMu    sync.Mutex
+	seqTaskCache = map[string]int64{}
+)
 
 func (s *inputSet) seqTasks(o Options, p Pair) (int64, error) {
 	key := fmt.Sprintf("%s-%d-%s", o.Scale, o.Seed, p.Label())
-	if v, ok := seqTaskCache[key]; ok {
+	seqTaskMu.Lock()
+	v, ok := seqTaskCache[key]
+	seqTaskMu.Unlock()
+	if ok {
 		return v, nil
 	}
 	w, err := s.workloadFor(p)
@@ -108,6 +132,8 @@ func (s *inputSet) seqTasks(o Options, p Pair) (int64, error) {
 		return 0, err
 	}
 	n := workload.RunSequential(w)
+	seqTaskMu.Lock()
 	seqTaskCache[key] = n
+	seqTaskMu.Unlock()
 	return n, nil
 }

@@ -13,6 +13,8 @@ func impls() map[string]func() Queue {
 		"binheap": func() Queue { return NewBinaryHeap(0) },
 		"bucket":  func() Queue { return NewBucketQueue() },
 		"pairing": func() Queue { return NewPairingHeap() },
+		"4-ary":   func() Queue { return NewQuadHeap(0) },
+		"8-ary":   func() Queue { return NewDHeap(8, 0) },
 	}
 }
 
@@ -79,6 +81,8 @@ func TestQueueEquivalence(t *testing.T) {
 		others := map[string]Queue{
 			"bucket":  NewBucketQueue(),
 			"pairing": NewPairingHeap(),
+			"4-ary":   NewQuadHeap(0),
+			"8-ary":   NewDHeap(8, 0),
 		}
 		for i, p := range raw {
 			tk := task.Task{Node: uint32(i), Prio: int64(p)}
@@ -313,8 +317,45 @@ func min(a, b int) int {
 	return b
 }
 
+func TestDHeapArityClamp(t *testing.T) {
+	if got := NewDHeap(0, 0).Arity(); got != 2 {
+		t.Fatalf("arity clamp = %d, want 2", got)
+	}
+	if got := NewQuadHeap(16).Arity(); got != 4 {
+		t.Fatalf("quad heap arity = %d, want 4", got)
+	}
+}
+
 func BenchmarkBinaryHeap(b *testing.B) {
 	benchQueue(b, NewBinaryHeap(1024))
+}
+
+// BenchmarkHeapPushPop isolates the tentpole's heap switch: the same mixed
+// push/pop workload on the binary heap vs the 4-ary heap, at a queue depth
+// that exercises multi-level sifts (the native runtime's steady state).
+func BenchmarkHeapPushPop(b *testing.B) {
+	impls := []struct {
+		name string
+		mk   func() Queue
+	}{
+		{"binary", func() Queue { return NewBinaryHeap(1024) }},
+		{"4-ary", func() Queue { return NewQuadHeap(1024) }},
+	}
+	for _, im := range impls {
+		b.Run(im.name, func(b *testing.B) {
+			q := im.mk()
+			// Pre-fill so sifts traverse several levels.
+			for i := 0; i < 1024; i++ {
+				q.Push(task.Task{Node: uint32(i), Prio: int64((i * 2654435761) % 8192)})
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q.Push(task.Task{Node: uint32(i), Prio: int64((i * 2654435761) % 8192)})
+				q.Pop()
+			}
+		})
+	}
 }
 
 func BenchmarkBucketQueue(b *testing.B) {

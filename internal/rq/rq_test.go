@@ -162,6 +162,260 @@ func TestRingConcurrentProducers(t *testing.T) {
 	}
 }
 
+func TestRingPushBatch(t *testing.T) {
+	r := NewRing(8)
+	batch := func(lo, n int) []task.Task {
+		ts := make([]task.Task, n)
+		for i := range ts {
+			ts[i] = task.Task{Node: uint32(lo + i)}
+		}
+		return ts
+	}
+	if got := r.TryPushBatch(nil); got != 0 {
+		t.Fatalf("empty batch pushed %d", got)
+	}
+	if got := r.TryPushBatch(batch(0, 5)); got != 5 {
+		t.Fatalf("pushed %d, want 5", got)
+	}
+	// Only 3 slots remain: the push must be partial.
+	if got := r.TryPushBatch(batch(5, 6)); got != 3 {
+		t.Fatalf("partial push got %d, want 3", got)
+	}
+	if got := r.TryPushBatch(batch(99, 2)); got != 0 {
+		t.Fatalf("push into full ring got %d, want 0", got)
+	}
+	for i := 0; i < 8; i++ {
+		tk, ok := r.Pop()
+		if !ok || tk.Node != uint32(i) {
+			t.Fatalf("pop %d = %v/%v", i, tk, ok)
+		}
+	}
+	// A batch longer than the capacity clamps to the capacity.
+	if got := r.TryPushBatch(batch(0, 20)); got != 8 {
+		t.Fatalf("oversized batch pushed %d, want 8", got)
+	}
+}
+
+func TestRingPushBatchWrapAround(t *testing.T) {
+	r := NewRing(4)
+	next := uint32(0)
+	want := uint32(0)
+	for lap := 0; lap < 1000; lap++ {
+		ts := make([]task.Task, 3)
+		for i := range ts {
+			ts[i] = task.Task{Node: next}
+			next++
+		}
+		if got := r.TryPushBatch(ts); got != 3 {
+			t.Fatalf("lap %d pushed %d, want 3", lap, got)
+		}
+		for i := 0; i < 3; i++ {
+			tk, ok := r.Pop()
+			if !ok || tk.Node != want {
+				t.Fatalf("lap %d pop = %v/%v, want node %d", lap, tk, ok, want)
+			}
+			want++
+		}
+	}
+}
+
+// TestRingConcurrentBatchProducers stresses TryPushBatch from several
+// producers against one consumer: exactly-once delivery with per-producer
+// order, mixing batch sizes (including single-task batches so the one-CAS
+// claim interleaves with the per-task protocol).
+func TestRingConcurrentBatchProducers(t *testing.T) {
+	const (
+		producers = 6
+		perProd   = 900
+	)
+	r := NewRing(32)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			sent := 0
+			batch := make([]task.Task, 0, 8)
+			for sent < perProd {
+				n := 1 + (sent+p)%7 // varying batch sizes 1..7
+				if n > perProd-sent {
+					n = perProd - sent
+				}
+				batch = batch[:0]
+				for i := 0; i < n; i++ {
+					batch = append(batch, task.Task{Node: uint32(p), Data: uint64(sent + i)})
+				}
+				for len(batch) > 0 {
+					k := r.TryPushBatch(batch)
+					if k == 0 {
+						runtime.Gosched()
+						continue
+					}
+					sent += k
+					batch = batch[k:]
+				}
+			}
+		}(p)
+	}
+	go func() {
+		wg.Wait()
+	}()
+
+	lastSeq := make([]int, producers)
+	for i := range lastSeq {
+		lastSeq[i] = -1
+	}
+	for total := 0; total < producers*perProd; {
+		tk, ok := r.Pop()
+		if !ok {
+			runtime.Gosched()
+			continue
+		}
+		p, seq := int(tk.Node), int(tk.Data)
+		if seq != lastSeq[p]+1 {
+			t.Fatalf("producer %d out of order: %d after %d", p, seq, lastSeq[p])
+		}
+		lastSeq[p] = seq
+		total++
+	}
+}
+
+// TestRingLenConcurrent verifies the Len snapshot invariants under
+// concurrent push/pop: with head loaded before tail, Len can never report
+// an impossible value (negative window clamped from a stale tail) and stays
+// within [0, cap]. The consumer additionally checks a lower bound it knows:
+// after it pushes and before it pops, the ring holds at least the
+// difference it created itself — but with remote producers only an upper
+// bound is exact, so the test pins the [0, cap] envelope and that an
+// all-quiesced ring reports the true count.
+func TestRingLenConcurrent(t *testing.T) {
+	const producers = 4
+	r := NewRing(16)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.TryPush(task.Task{})
+				if n := r.Len(); n < 0 || n > r.Cap() {
+					panic("Len out of range") // t.Fatal not allowed off the test goroutine
+				}
+			}
+		}()
+	}
+	deadline := 200000
+	for i := 0; i < deadline; i++ {
+		if n := r.Len(); n < 0 || n > r.Cap() {
+			t.Fatalf("Len = %d out of [0, %d]", n, r.Cap())
+		}
+		r.Pop()
+	}
+	close(stop)
+	wg.Wait()
+	// Quiesced: Len must be exact.
+	n := 0
+	for {
+		if _, ok := r.Pop(); !ok {
+			break
+		}
+		n++
+	}
+	if got := r.Len(); got != 0 {
+		t.Fatalf("drained ring Len = %d", got)
+	}
+	_ = n
+}
+
+// benchProducers runs the push side on p goroutines against one draining
+// consumer; push reports per-task cost including the consumer keeping up.
+func benchProducers(b *testing.B, p int, push func(r *Ring, id int, n int)) {
+	r := NewRing(256)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]task.Task, 0, 256)
+		for {
+			buf = r.Drain(buf[:0], 0)
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	per := b.N / p
+	if per == 0 {
+		per = 1
+	}
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for id := 0; id < p; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			push(r, id, per)
+		}(id)
+	}
+	wg.Wait()
+	b.StopTimer()
+	close(stop)
+	<-done
+}
+
+func BenchmarkRingPush(b *testing.B) {
+	for _, p := range []int{1, 4, 8} {
+		b.Run(fmtProducers(p), func(b *testing.B) {
+			b.ReportAllocs()
+			benchProducers(b, p, func(r *Ring, id, n int) {
+				for i := 0; i < n; i++ {
+					for !r.TryPush(task.Task{Node: uint32(id), Data: uint64(i)}) {
+						runtime.Gosched()
+					}
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkRingPushBatch(b *testing.B) {
+	const batch = 16
+	for _, p := range []int{1, 4, 8} {
+		b.Run(fmtProducers(p), func(b *testing.B) {
+			b.ReportAllocs()
+			benchProducers(b, p, func(r *Ring, id, n int) {
+				ts := make([]task.Task, batch)
+				for i := range ts {
+					ts[i] = task.Task{Node: uint32(id)}
+				}
+				for sent := 0; sent < n; {
+					want := n - sent
+					if want > batch {
+						want = batch
+					}
+					k := r.TryPushBatch(ts[:want])
+					if k == 0 {
+						runtime.Gosched()
+						continue
+					}
+					sent += k
+				}
+			})
+		})
+	}
+}
+
+func fmtProducers(p int) string {
+	return "producers=" + string(rune('0'+p))
+}
+
 func BenchmarkRingPushPop(b *testing.B) {
 	r := NewRing(256)
 	b.ReportAllocs()

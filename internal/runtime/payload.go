@@ -1,0 +1,110 @@
+package runtime
+
+import (
+	"sync/atomic"
+
+	"hdcps/internal/task"
+)
+
+// payloadStore implements the bag-payload side of the paper's pull
+// transport (§III-B) without a global hash map: each worker owns one store;
+// only the bag's metadata travels through rings, carrying the owner's id
+// and a dense slot index in Task.Data; the consumer resolves the index
+// against the owner's store, unpacks the tasks, and releases the slot.
+//
+// Concurrency contract:
+//   - alloc is owner-only (the single worker that creates this store's
+//     bags), so allocation needs no synchronization beyond publishing
+//     chunk-directory growth.
+//   - get may run on any worker. The directory pointer is replaced
+//     wholesale when it grows (copy-on-write), and the growth store
+//     happens before the metadata is published through a ring, so a
+//     consumer that holds a bag id always observes the chunk behind it.
+//   - release may run on any worker: consumed slots return through a
+//     lock-free MPSC Treiber stack the owner drains on its next alloc
+//     miss. The pop is a single swap of the whole list, which sidesteps
+//     the ABA hazard of per-node pops.
+//
+// Slot contents need no atomics of their own: the owner's writes to a slot
+// happen before the ring publish of its metadata, and the consumer's reads
+// happen after the ring consume; the release-stack CAS orders the hand-back
+// the same way.
+type payloadStore struct {
+	chunks   atomic.Pointer[[]*payloadChunk]
+	released atomic.Pointer[payloadSlot] // consumers push, owner swaps out
+	free     []*payloadSlot              // owner-local free cache
+	next     uint32                      // next never-used slot index
+}
+
+const (
+	payloadChunkShift = 8
+	payloadChunkSize  = 1 << payloadChunkShift
+	payloadChunkMask  = payloadChunkSize - 1
+)
+
+type payloadChunk struct {
+	slots [payloadChunkSize]payloadSlot
+}
+
+type payloadSlot struct {
+	tasks []task.Task
+	idx   uint32
+	next  *payloadSlot // freelist link, meaningful only on the released stack
+}
+
+// alloc returns a free slot, reusing consumer-released slots before growing
+// the store. Owner-only.
+func (ps *payloadStore) alloc() *payloadSlot {
+	if n := len(ps.free); n > 0 {
+		s := ps.free[n-1]
+		ps.free = ps.free[:n-1]
+		return s
+	}
+	if head := ps.released.Swap(nil); head != nil {
+		for s := head.next; s != nil; {
+			nx := s.next
+			s.next = nil
+			ps.free = append(ps.free, s)
+			s = nx
+		}
+		head.next = nil
+		return head
+	}
+	idx := ps.next
+	ps.next++
+	ci := int(idx >> payloadChunkShift)
+	var dir []*payloadChunk
+	if p := ps.chunks.Load(); p != nil {
+		dir = *p
+	}
+	if ci >= len(dir) {
+		grown := make([]*payloadChunk, ci+1)
+		copy(grown, dir)
+		grown[ci] = new(payloadChunk)
+		// Publish the grown directory before the caller can ship any bag id
+		// pointing into the new chunk.
+		ps.chunks.Store(&grown)
+		dir = grown
+	}
+	s := &dir[ci].slots[idx&payloadChunkMask]
+	s.idx = idx
+	return s
+}
+
+// get resolves a slot index carried in bag metadata. Any worker.
+func (ps *payloadStore) get(idx uint32) *payloadSlot {
+	dir := *ps.chunks.Load()
+	return &dir[idx>>payloadChunkShift].slots[idx&payloadChunkMask]
+}
+
+// release hands a consumed slot back to the owner. Any worker.
+func (ps *payloadStore) release(s *payloadSlot) {
+	s.tasks = s.tasks[:0] // keep the backing array for the owner's reuse
+	for {
+		old := ps.released.Load()
+		s.next = old
+		if ps.released.CompareAndSwap(old, s) {
+			return
+		}
+	}
+}

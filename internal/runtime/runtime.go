@@ -5,6 +5,15 @@
 // against real memory. It is the library a downstream Go user adopts, and
 // it is the "real machine" side of the paper's simulator-correlation
 // experiment (Fig. 10).
+//
+// The hot paths follow the levers that "Engineering MultiQueues" and
+// Wimmer et al. identify for this scheduler shape: remote children are
+// accumulated per destination and flushed with one CAS per batch
+// (rq.TryPushBatch); a full ring spills to a lock-free Treiber stack
+// instead of a mutex; bag payloads live in a per-worker store addressed by
+// the metadata (no global hash map bouncing between cores); the private
+// queue is a 4-ary heap by default; and idle workers back off
+// spin → Gosched → sleep instead of burning the scheduler.
 package runtime
 
 import (
@@ -38,6 +47,25 @@ type Config struct {
 	Drift drift.Config
 	// Seed makes destination selection reproducible per worker.
 	Seed uint64
+
+	// HeapArity selects the private priority queue: 2 is the classic binary
+	// heap (what the simulator's cost model charges for), anything else is a
+	// d-ary heap of that arity. 0 defaults to 4, the cache-friendly choice.
+	HeapArity int
+	// BatchSize is the per-destination dispatch buffer: remote children
+	// accumulate until BatchSize are ready, then ship with a single
+	// claim-CAS (rq.TryPushBatch). 0 defaults to 16.
+	BatchSize int
+	// FlushInterval bounds batching staleness: after this many processed
+	// tasks all partial buffers are force-flushed (a worker that goes idle
+	// always flushes immediately). 0 defaults to 32.
+	FlushInterval int
+	// IdleSpin is how many empty polls a worker performs before it starts
+	// yielding, and how many yields before it sleeps. 0 defaults to 64.
+	IdleSpin int
+	// IdleSleep is the park duration once spinning and yielding found no
+	// work. 0 defaults to 50µs.
+	IdleSleep time.Duration
 }
 
 // DefaultConfig returns the paper-tuned native configuration.
@@ -55,6 +83,7 @@ type Result struct {
 	Elapsed        time.Duration
 	TasksProcessed int64
 	BagsCreated    int64
+	EdgesExamined  int64
 	DriftTrace     []float64
 	TDFTrace       []int
 }
@@ -72,6 +101,21 @@ func Run(w workload.Workload, cfg Config) Result {
 	}
 	if cfg.Bags.Mode != bag.Never && cfg.Bags.MaxSize == 0 {
 		cfg.Bags = bag.DefaultPolicy()
+	}
+	if cfg.HeapArity <= 0 {
+		cfg.HeapArity = 4
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 16
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = 32
+	}
+	if cfg.IdleSpin <= 0 {
+		cfg.IdleSpin = 64
+	}
+	if cfg.IdleSleep <= 0 {
+		cfg.IdleSleep = 50 * time.Microsecond
 	}
 	w.Reset()
 
@@ -92,10 +136,23 @@ func Run(w workload.Workload, cfg Config) Result {
 		e.tdf.Store(tdf)
 	}
 	for i := range e.workers {
-		e.workers[i] = worker{
-			ring: rq.NewRing(cfg.RingSize),
-			heap: pq.NewBinaryHeap(64),
-			rng:  graph.NewRNG(cfg.Seed + uint64(i)*0x9e3779b9),
+		me := &e.workers[i]
+		me.id = i
+		me.ring = rq.NewRing(cfg.RingSize)
+		me.heap = newHeap(cfg.HeapArity, 64)
+		me.rng = graph.NewRNG(cfg.Seed + uint64(i)*0x9e3779b9)
+		me.out = make([][]task.Task, cfg.Workers)
+		for j := range me.out {
+			if j != i {
+				me.out[j] = make([]task.Task, 0, cfg.BatchSize)
+			}
+		}
+		me.children = make([]task.Task, 0, 16)
+		// One closure for the whole run, so Process calls do not allocate a
+		// fresh emit callback per task.
+		me.emit = func(c task.Task) { me.children = append(me.children, c) }
+		me.newBagID = func() uint64 {
+			return uint64(me.id)<<32 | uint64(me.store.alloc().idx)
 		}
 	}
 
@@ -120,12 +177,22 @@ func Run(w workload.Workload, cfg Config) Result {
 		Elapsed:        time.Since(start),
 		TasksProcessed: e.processed.Load(),
 		BagsCreated:    e.bagsCreated.Load(),
+		EdgesExamined:  e.edgesExamined.Load(),
 	}
 	for _, rec := range e.ctrl.History() {
 		res.DriftTrace = append(res.DriftTrace, rec.Drift)
 		res.TDFTrace = append(res.TDFTrace, rec.TDF)
 	}
 	return res
+}
+
+// newHeap builds the private per-worker priority queue for the configured
+// arity (2 keeps the classic binary heap the simulator models).
+func newHeap(arity, capacity int) pq.Queue {
+	if arity == 2 {
+		return pq.NewBinaryHeap(capacity)
+	}
+	return pq.NewDHeap(arity, capacity)
 }
 
 // RunAsStats adapts a native Result into the stats.Run vocabulary shared
@@ -146,16 +213,41 @@ func RunAsStats(w workload.Workload, cfg Config) stats.Run {
 }
 
 type worker struct {
+	id   int
 	ring *rq.Ring
-	heap *pq.BinaryHeap
+	heap pq.Queue
 	rng  *graph.RNG
 
-	// overflow catches pushes that found the ring full (the sender-side
-	// flow-control fallback). overflowN mirrors len(overflow) so the owner
-	// can skip the lock when the list is empty.
-	mu        sync.Mutex
-	overflow  []task.Task
-	overflowN atomic.Int64
+	// overflow catches batches that found the ring full (the sender-side
+	// flow-control fallback): a lock-free MPSC Treiber stack remote senders
+	// push onto and only the owner drains.
+	overflow overflowStack
+
+	// store holds this worker's outgoing bag payloads (pull transport): the
+	// consumer resolves the metadata's Data field against it and releases
+	// the slot when done.
+	store payloadStore
+
+	// out accumulates remote children per destination; a buffer ships via
+	// TryPushBatch when it reaches BatchSize, when FlushInterval tasks have
+	// passed, or when this worker runs out of local work.
+	out        [][]task.Task
+	outPending int
+	sinceFlush int
+
+	// children is the per-task scratch emit buffer; emit is the one
+	// allocation-free closure appending to it, and part the reusable-scratch
+	// bag partitioner (its output is consumed before the next task).
+	children []task.Task
+	emit     func(task.Task)
+	newBagID func() uint64
+	part     bag.Partitioner
+
+	// Run-local counters, folded into the engine totals once at exit so the
+	// per-task path performs a single shared atomic (outstanding).
+	processed int64
+	bags      int64
+	edges     int64
 
 	sinceReport int64
 	_pad        [4]int64 // reduce false sharing between workers
@@ -166,16 +258,11 @@ type engine struct {
 	w       workload.Workload
 	workers []worker
 
-	outstanding atomic.Int64 // tasks emitted but not yet fully processed
-	processed   atomic.Int64
-	bagsCreated atomic.Int64
-	bagSeq      atomic.Uint64
-	tdf         atomic.Int64
-
-	// Bag payload store: metadata travels through rings, payload stays
-	// here until the consumer unpacks it (pull transport, the paper's
-	// preferred scheme).
-	bags sync.Map // uint64 -> []task.Task
+	outstanding   atomic.Int64 // tasks emitted but not yet fully processed
+	processed     atomic.Int64
+	bagsCreated   atomic.Int64
+	edgesExamined atomic.Int64
+	tdf           atomic.Int64
 
 	// Drift reporting (Alg. 2/3): workers write their latest priority,
 	// the master consumes a full set.
@@ -190,17 +277,18 @@ const bagMarker = ^graph.NodeID(0)
 
 func (e *engine) run(id int) {
 	me := &e.workers[id]
+	defer func() {
+		e.processed.Add(me.processed)
+		e.bagsCreated.Add(me.bags)
+		e.edgesExamined.Add(me.edges)
+	}()
 	buf := make([]task.Task, 0, 64)
-	children := make([]task.Task, 0, 16)
+	idle := 0
 	for {
-		// Drain the receive ring (and any overflow) into the private heap.
+		// Drain the receive ring (and any spilled batches) into the heap.
 		buf = me.ring.Drain(buf[:0], 0)
-		if me.overflowN.Load() > 0 {
-			me.mu.Lock()
-			buf = append(buf, me.overflow...)
-			me.overflowN.Add(-int64(len(me.overflow)))
-			me.overflow = me.overflow[:0]
-			me.mu.Unlock()
+		for node := me.overflow.takeAll(); node != nil; node = node.next {
+			buf = append(buf, node.tasks...)
 		}
 		for _, t := range buf {
 			me.heap.Push(t)
@@ -208,63 +296,82 @@ func (e *engine) run(id int) {
 
 		t, ok := me.heap.Pop()
 		if !ok {
+			if me.outPending > 0 {
+				// Out of local work: ship every partial batch before idling
+				// so no task waits on this worker's buffers.
+				e.flushAll(me)
+				continue
+			}
 			if e.outstanding.Load() == 0 {
 				return // global termination: no tasks anywhere
 			}
-			// Work exists elsewhere and may land in our ring; yield so the
-			// workers holding it can run (matters on small GOMAXPROCS).
-			stdruntime.Gosched()
+			// Adaptive backoff: re-poll hot for a moment (work often lands
+			// within a few hundred ns), then yield the P so the workers
+			// holding tasks can run, then park briefly so an idle worker
+			// stops costing the scheduler anything.
+			idle++
+			switch {
+			case idle <= e.cfg.IdleSpin:
+			case idle <= 2*e.cfg.IdleSpin:
+				stdruntime.Gosched()
+			default:
+				time.Sleep(e.cfg.IdleSleep)
+			}
 			continue
 		}
+		idle = 0
 
 		if t.Node == bagMarker {
-			if payload, found := e.bags.LoadAndDelete(t.Data); found {
-				for _, bt := range payload.([]task.Task) {
-					children = e.processOne(id, me, bt, children)
-				}
+			owner, idx := int(t.Data>>32), uint32(t.Data)
+			st := &e.workers[owner].store
+			s := st.get(idx)
+			for _, bt := range s.tasks {
+				e.processOne(id, me, bt)
 			}
+			st.release(s)
 			e.outstanding.Add(-1) // the bag itself
 		} else {
-			children = e.processOne(id, me, t, children)
+			e.processOne(id, me, t)
+		}
+
+		if me.sinceFlush >= e.cfg.FlushInterval && me.outPending > 0 {
+			e.flushAll(me)
 		}
 	}
 }
 
-// processOne executes one task and distributes its children; it returns the
-// (reused) children scratch buffer.
-func (e *engine) processOne(id int, me *worker, t task.Task, children []task.Task) []task.Task {
-	children = children[:0]
-	edges := e.w.Process(t, func(c task.Task) { children = append(children, c) })
-	_ = edges
-	e.processed.Add(1)
+// processOne executes one task and distributes its children.
+func (e *engine) processOne(id int, me *worker, t task.Task) {
+	me.children = me.children[:0]
+	me.edges += int64(e.w.Process(t, me.emit))
+	me.processed++
 
-	if len(children) > 0 {
-		bags, singles := bag.Partition(children, e.cfg.Bags, func() uint64 {
-			return e.bagSeq.Add(1)
-		})
-		// Account all new work before making any of it visible.
-		e.outstanding.Add(int64(len(bags)) + int64(countTasks(bags)) + int64(len(singles)))
+	// Account all new work and retire this task in one shared atomic; the
+	// increment lands before any child becomes visible, so outstanding can
+	// never dip to zero while work exists.
+	if len(me.children) > 0 {
+		bags, singles := me.part.Partition(me.children, e.cfg.Bags, me.newBagID)
+		e.outstanding.Add(int64(len(bags)) + int64(countTasks(bags)) + int64(len(singles)) - 1)
 		for _, b := range bags {
-			e.bagsCreated.Add(1)
-			payload := append([]task.Task(nil), b.Tasks...)
-			e.bags.Store(b.ID, payload)
+			me.bags++
+			s := me.store.get(uint32(b.ID))
+			s.tasks = append(s.tasks[:0], b.Tasks...)
 			e.dispatch(id, me, task.Task{Node: bagMarker, Prio: b.Prio, Data: b.ID})
 		}
-		for _, s := range singles {
-			e.dispatch(id, me, s)
+		for _, c := range singles {
+			e.dispatch(id, me, c)
 		}
-	}
-	if t.Node != bagMarker {
+	} else {
 		e.outstanding.Add(-1)
 	}
 
 	// Drift reporting.
+	me.sinceFlush++
 	me.sinceReport++
 	if me.sinceReport >= int64(e.ctrl.Config().SampleInterval) {
 		me.sinceReport = 0
 		e.report(id, t.Prio)
 	}
-	return children
 }
 
 func countTasks(bags []bag.Bag) int {
@@ -275,8 +382,9 @@ func countTasks(bags []bag.Bag) int {
 	return n
 }
 
-// dispatch sends one unit (task or bag metadata) to a destination chosen by
-// the current TDF.
+// dispatch routes one unit (task or bag metadata) to a destination chosen
+// by the current TDF. Remote units buffer per destination and ship in
+// batches; local units go straight to the private heap.
 func (e *engine) dispatch(id int, me *worker, t task.Task) {
 	dst := id
 	if n := len(e.workers); n > 1 && int64(me.rng.Uint32n(100)) < e.tdf.Load() {
@@ -290,15 +398,45 @@ func (e *engine) dispatch(id int, me *worker, t task.Task) {
 		me.heap.Push(t)
 		return
 	}
-	w := &e.workers[dst]
-	if !w.ring.TryPush(t) {
-		// Flow control fallback: the destination's ring is full; park the
-		// task in its overflow list.
-		w.mu.Lock()
-		w.overflow = append(w.overflow, t)
-		w.overflowN.Add(1)
-		w.mu.Unlock()
+	me.out[dst] = append(me.out[dst], t)
+	me.outPending++
+	if len(me.out[dst]) >= e.cfg.BatchSize {
+		e.flushTo(me, dst)
 	}
+}
+
+// flushTo ships one destination's buffered batch: as much as fits through
+// the ring in claim-CAS batches, the remainder spilled to the destination's
+// lock-free overflow stack.
+func (e *engine) flushTo(me *worker, dst int) {
+	buf := me.out[dst]
+	if len(buf) == 0 {
+		return
+	}
+	w := &e.workers[dst]
+	pushed := 0
+	for pushed < len(buf) {
+		n := w.ring.TryPushBatch(buf[pushed:])
+		if n == 0 {
+			break
+		}
+		pushed += n
+	}
+	if rest := buf[pushed:]; len(rest) > 0 {
+		// Ring full: park the remainder at the destination. The node copies
+		// the tasks because buf is reused for the next batch.
+		w.overflow.push(&overflowNode{tasks: append([]task.Task(nil), rest...)})
+	}
+	me.outPending -= len(buf)
+	me.out[dst] = buf[:0]
+}
+
+// flushAll ships every partial batch.
+func (e *engine) flushAll(me *worker) {
+	for dst := range me.out {
+		e.flushTo(me, dst)
+	}
+	me.sinceFlush = 0
 }
 
 // report implements Algorithm 3's send + the master-side Algorithm 2 step.
@@ -320,3 +458,31 @@ func (e *engine) report(id int, prio int64) {
 	e.ctrlMu.Unlock()
 	e.tdf.Store(int64(tdf))
 }
+
+// overflowStack is the sender-side flow-control fallback: when a
+// destination's ring is full, the rejected batch is parked on this
+// lock-free MPSC Treiber stack (any sender pushes; only the owner drains,
+// by swapping the whole list out). It replaces the seed's mutex-guarded
+// slice, so a full ring no longer serializes its senders.
+type overflowStack struct {
+	head atomic.Pointer[overflowNode]
+}
+
+type overflowNode struct {
+	tasks []task.Task
+	next  *overflowNode
+}
+
+func (s *overflowStack) push(n *overflowNode) {
+	for {
+		old := s.head.Load()
+		n.next = old
+		if s.head.CompareAndSwap(old, n) {
+			return
+		}
+	}
+}
+
+// takeAll detaches the whole stack in one swap; popping everything at once
+// sidesteps the ABA hazard of per-node pops.
+func (s *overflowStack) takeAll() *overflowNode { return s.head.Swap(nil) }
