@@ -15,12 +15,14 @@ vet:
 	$(GO) vet ./...
 
 # Race tier: the concurrency-heavy packages under the race detector. The
-# native runtime, the MPSC ring, the payload transport, and the parallel
-# experiment driver are where a data race would actually live. The exp run
-# is scoped to the driver tests: racing the full figure suite is ~10min on
-# one core and exercises no concurrency the driver tests don't.
+# native runtime (engine lifecycle, transport, control plane), the MPSC
+# ring, the payload transport, the executor registry that fronts the
+# runtime, and the parallel experiment driver are where a data race would
+# actually live. The exp run is scoped to the driver tests: racing the full
+# figure suite is ~10min on one core and exercises no concurrency the
+# driver tests don't.
 race:
-	$(GO) test -race ./internal/rq/... ./internal/runtime/... ./internal/bag/...
+	$(GO) test -race ./internal/rq/... ./internal/runtime/... ./internal/bag/... ./internal/exec/...
 	$(GO) test -race -run 'TestParallel' -count=1 ./internal/exp/
 
 # Hot-path microbenchmarks (ring push/batch, heap arity, partitioner,

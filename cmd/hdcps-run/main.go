@@ -1,10 +1,12 @@
-// Command hdcps-run executes one (scheduler, workload, input) combination
-// on the simulator and prints its metrics: completion time, task counts,
-// work efficiency, priority drift, and the §IV-C breakdown.
+// Command hdcps-run executes one (executor, workload, input) combination
+// and prints its metrics: completion time, task counts, work efficiency,
+// priority drift, and the §IV-C breakdown. The executor is any simulated
+// scheduler, or "native" for the goroutine HD-CPS runtime.
 //
 // Usage:
 //
 //	hdcps-run -sched hdcps-sw -workload sssp -input road -cores 40 [-hw] [-scale small]
+//	hdcps-run -sched native -workload sssp -input road -cores 4
 //	hdcps-run -list
 package main
 
@@ -14,28 +16,27 @@ import (
 	"os"
 	"strings"
 
+	"hdcps/internal/exec"
 	"hdcps/internal/graph"
-	"hdcps/internal/sched"
-	"hdcps/internal/sim"
 	"hdcps/internal/workload"
 )
 
 func main() {
 	var (
-		schedName = flag.String("sched", "hdcps-sw", "scheduler name (see -list)")
+		schedName = flag.String("sched", "hdcps-sw", "executor name: a simulated scheduler or \"native\" (see -list)")
 		wlName    = flag.String("workload", "sssp", "workload name (see -list)")
 		input     = flag.String("input", "road", "input graph: road, cage, web, lj, grid, or a file path (.gr/.txt/.mtx)")
-		cores     = flag.Int("cores", 40, "number of simulated cores")
-		hw        = flag.Bool("hw", false, "use the Table I hardware machine (hRQ/hPQ enabled)")
+		cores     = flag.Int("cores", 40, "simulated cores, or native worker goroutines for -sched native")
+		hw        = flag.Bool("hw", false, "use the Table I hardware machine (hRQ/hPQ enabled; simulated executors only)")
 		scale     = flag.String("scale", "small", "synthetic input scale: tiny, small, large")
 		seed      = flag.Uint64("seed", 42, "deterministic seed")
 		verify    = flag.Bool("verify", true, "verify the workload result against the sequential reference")
-		list      = flag.Bool("list", false, "list schedulers and workloads, then exit")
+		list      = flag.Bool("list", false, "list executors and workloads, then exit")
 	)
 	flag.Parse()
 
 	if *list {
-		fmt.Println("schedulers:", sched.Names())
+		fmt.Println("executors: ", exec.Names())
 		fmt.Println("workloads: ", workload.Names())
 		fmt.Println("inputs:    road cage web lj grid, or a file path (.gr DIMACS, .txt SNAP, .mtx MatrixMarket)")
 		return
@@ -49,27 +50,28 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	s, err := sched.ByName(*schedName)
+	x, err := exec.ByName(*schedName)
 	if err != nil {
 		fatal(err)
 	}
-	cfg := sim.DefaultSW(*cores)
-	if *hw {
-		cfg = sim.DefaultHW()
-		cfg.Cores = *cores
-	}
+	native := *schedName == exec.NativeName
 
-	r := s.Run(w, cfg, *seed)
+	r := x.Run(w, exec.Spec{Cores: *cores, Seed: *seed, Hardware: *hw})
 	r.SeqTasks = workload.RunSequential(w.Clone())
 
-	fmt.Printf("scheduler:       %s\n", r.Scheduler)
+	fmt.Printf("executor:        %s\n", r.Scheduler)
 	fmt.Printf("workload/input:  %s / %s (%d nodes, %d edges)\n",
 		r.Workload, r.Input, g.NumNodes(), g.NumEdges())
-	fmt.Printf("cores:           %d (%s mode)\n", r.Cores, mode(*hw))
-	fmt.Printf("completion time: %d cycles\n", r.CompletionTime)
+	fmt.Printf("cores:           %d (%s mode)\n", r.Cores, mode(native, *hw))
+	fmt.Printf("completion time: %d %s\n", r.CompletionTime, timeUnit(native))
 	fmt.Printf("tasks processed: %d (sequential needs %d, work efficiency %.3f)\n",
 		r.TasksProcessed, r.SeqTasks, r.WorkEfficiency())
-	fmt.Printf("messages sent:   %d\n", r.MessagesSent)
+	if r.EdgesExamined > 0 {
+		fmt.Printf("edges examined:  %d\n", r.EdgesExamined)
+	}
+	if !native {
+		fmt.Printf("messages sent:   %d\n", r.MessagesSent)
+	}
 	if r.BagsCreated > 0 {
 		fmt.Printf("bags created:    %d (%d tasks bagged)\n", r.BagsCreated, r.BaggedTasks)
 	}
@@ -80,7 +82,9 @@ func main() {
 	if len(r.TDFTrace) > 0 {
 		fmt.Printf("TDF trace:       %v\n", compact(r.TDFTrace, 16))
 	}
-	fmt.Printf("breakdown:       %s\n", r.Breakdown)
+	if !native {
+		fmt.Printf("breakdown:       %s\n", r.Breakdown)
+	}
 
 	if *verify {
 		if err := w.Verify(); err != nil {
@@ -90,11 +94,22 @@ func main() {
 	}
 }
 
-func mode(hw bool) string {
-	if hw {
+func mode(native, hw bool) string {
+	switch {
+	case native:
+		return "native goroutines"
+	case hw:
 		return "hardware"
+	default:
+		return "software"
 	}
-	return "software"
+}
+
+func timeUnit(native bool) string {
+	if native {
+		return "ns"
+	}
+	return "cycles"
 }
 
 func compact(xs []int, max int) []int {

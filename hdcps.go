@@ -28,6 +28,7 @@ import (
 	"io"
 
 	"hdcps/internal/drift"
+	"hdcps/internal/exec"
 	"hdcps/internal/exp"
 	"hdcps/internal/graph"
 	"hdcps/internal/runtime"
@@ -58,6 +59,17 @@ type (
 	NativeConfig = runtime.Config
 	// NativeResult is the goroutine runtime's metrics record.
 	NativeResult = runtime.Result
+	// Engine is the long-lived native runtime: a worker fleet with a
+	// Start / Submit / Drain / Stop lifecycle that accepts work while
+	// running and exposes Snapshot for mid-run visibility.
+	Engine = runtime.Engine
+	// EngineSnapshot is a point-in-time view of a running Engine.
+	EngineSnapshot = runtime.Snapshot
+	// Executor runs a workload under any registered execution vehicle — a
+	// simulated scheduler or the native runtime — behind one interface.
+	Executor = exec.Executor
+	// ExecutorSpec is the executor-independent run specification.
+	ExecutorSpec = exec.Spec
 	// DriftConfig holds the TDF controller tunables (§III-C).
 	DriftConfig = drift.Config
 	// ExperimentOptions control table/figure regeneration.
@@ -122,12 +134,27 @@ func RunSim(s Scheduler, w Workload, cfg MachineConfig, seed uint64) Run {
 // clone of w and returns its task count (the work-efficiency denominator).
 func SequentialTasks(w Workload) int64 { return workload.RunSequential(w.Clone()) }
 
-// RunNative executes a workload on the goroutine-based HD-CPS runtime.
+// RunNative executes a workload on the goroutine-based HD-CPS runtime
+// (one-shot; for a long-lived service use NewEngine).
 func RunNative(w Workload, cfg NativeConfig) NativeResult { return runtime.Run(w, cfg) }
+
+// NewEngine builds a long-lived native runtime over w. Call Start, then
+// Submit work (streaming is fine), Drain to wait for quiescence, and Stop
+// to shut the fleet down; Snapshot reads live counters at any point.
+func NewEngine(w Workload, cfg NativeConfig) *Engine { return runtime.NewEngine(w, cfg) }
 
 // DefaultNativeConfig returns the paper-tuned native configuration for the
 // given worker count.
 func DefaultNativeConfig(workers int) NativeConfig { return runtime.DefaultConfig(workers) }
+
+// NewExecutor resolves an executor by name: every scheduler name
+// NewScheduler accepts (run on the simulator) plus "native" (the goroutine
+// runtime). One registry covers both execution vehicles.
+func NewExecutor(name string) (Executor, error) { return exec.ByName(name) }
+
+// ExecutorNames lists the registered executors: all simulator schedulers,
+// then "native".
+func ExecutorNames() []string { return exec.Names() }
 
 // Experiments lists the regenerable tables and figures ("table1", "table2",
 // "fig3" ... "fig15") plus the §II ordering-spectrum extension

@@ -2,6 +2,7 @@ package hdcps
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
@@ -41,6 +42,61 @@ func TestFacadeNativeRun(t *testing.T) {
 	res := RunNative(w, DefaultNativeConfig(2))
 	if res.TasksProcessed <= 0 || res.Elapsed <= 0 {
 		t.Fatalf("empty native run: %+v", res)
+	}
+	if err := w.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeEngineLifecycle(t *testing.T) {
+	g := Road(16, 16, 5)
+	w, err := NewWorkload("sssp", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(w, DefaultNativeConfig(2))
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Two waves through one fleet: the streaming shape RunNative cannot do.
+	for i := 0; i < 2; i++ {
+		if err := e.Submit(w.InitialTasks()...); err != nil {
+			t.Fatalf("wave %d: %v", i, err)
+		}
+		if err := e.Drain(ctx); err != nil {
+			t.Fatalf("wave %d: %v", i, err)
+		}
+	}
+	snap := e.Snapshot()
+	if snap.Epoch != 2 || snap.TasksProcessed <= 0 {
+		t.Fatalf("snapshot: %+v", snap)
+	}
+	if err := e.Stop(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeExecutors(t *testing.T) {
+	for _, n := range ExecutorNames() {
+		if _, err := NewExecutor(n); err != nil {
+			t.Errorf("executor %q: %v", n, err)
+		}
+	}
+	x, err := NewExecutor("native")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorkload("bfs", Road(12, 12, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := x.Run(w, ExecutorSpec{Cores: 2, Seed: 1})
+	if run.CompletionTime <= 0 || run.Cores != 2 {
+		t.Fatalf("native executor run: %+v", run)
 	}
 	if err := w.Verify(); err != nil {
 		t.Fatal(err)

@@ -151,8 +151,12 @@ func (c *Controller) Config() Config { return c.cfg }
 // TDF returns the current task distribution factor in percent.
 func (c *Controller) TDF() int { return c.tdf }
 
-// History returns the per-interval drift and TDF records accumulated so far.
-func (c *Controller) History() []Record { return c.history }
+// History returns a copy of the per-interval drift and TDF records
+// accumulated so far. Returning a copy keeps the controller's internal
+// trace safe from callers that append to or mutate the result.
+func (c *Controller) History() []Record {
+	return append([]Record(nil), c.history...)
+}
 
 // Update runs one Algorithm 2 step from the cores' priority reports and
 // returns the TDF for the next interval.

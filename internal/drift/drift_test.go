@@ -235,3 +235,26 @@ func TestFixedSchedule(t *testing.T) {
 		t.Fatal("empty schedule should use fallback")
 	}
 }
+
+// History hands back a copy: callers appending to or mutating the returned
+// slice must not corrupt the controller's internal trace.
+func TestHistoryReturnsCopy(t *testing.T) {
+	c := NewController(Config{})
+	c.UpdateDrift(5)
+	c.UpdateDrift(3)
+	h := c.History()
+	if len(h) != 2 || h[0].Drift != 5 || h[1].Drift != 3 {
+		t.Fatalf("history = %v", h)
+	}
+	h[0].Drift = -99
+	h = append(h, Record{Drift: 123})
+	_ = h
+	c.UpdateDrift(1)
+	h2 := c.History()
+	if len(h2) != 3 {
+		t.Fatalf("internal trace length %d, want 3", len(h2))
+	}
+	if h2[0].Drift != 5 || h2[2].Drift != 1 {
+		t.Fatalf("internal trace corrupted by caller mutation: %v", h2)
+	}
+}

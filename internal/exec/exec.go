@@ -1,0 +1,120 @@
+// Package exec is the unified executor registry: every way this repository
+// can execute a workload to completion — each simulated scheduler from
+// internal/sched and the native goroutine runtime from internal/runtime —
+// resolved by one name lookup and run through one interface. Callers
+// (cmd/hdcps-run, the experiment harness, the public facade) no longer need
+// to know whether a name denotes a cycle-accurate simulation or a real
+// goroutine fleet.
+package exec
+
+import (
+	"fmt"
+
+	"hdcps/internal/runtime"
+	"hdcps/internal/sched"
+	"hdcps/internal/sim"
+	"hdcps/internal/stats"
+	"hdcps/internal/workload"
+)
+
+// NativeName is the registry name of the goroutine-based native runtime.
+const NativeName = "native"
+
+// Spec is the executor-independent run specification. Zero values select
+// each executor's defaults.
+type Spec struct {
+	// Cores is the simulated core count or the native worker count
+	// (0 → 40 simulated cores, 4 native workers — the historical defaults).
+	Cores int
+	// Seed drives destination selection (native) and simulator randomness.
+	Seed uint64
+	// Hardware selects the Table I machine for simulated executors
+	// (hRQ/hPQ enabled); ignored by the native executor.
+	Hardware bool
+	// Machine fully overrides the simulated machine configuration;
+	// Cores/Hardware are ignored when set. Simulated executors only.
+	Machine *sim.Config
+	// Native fully overrides the native runtime configuration; Cores is
+	// ignored when set (Seed still applies if Native.Seed is zero).
+	// Native executor only.
+	Native *runtime.Config
+}
+
+// Executor runs a workload to completion and reports the shared metrics
+// vocabulary. Implementations reset the workload before running it.
+type Executor interface {
+	// Name returns the registry name the executor resolves under.
+	Name() string
+	// Run executes w with spec and returns the run's metrics.
+	Run(w workload.Workload, spec Spec) stats.Run
+}
+
+// ByName resolves an executor: NativeName for the goroutine runtime, or any
+// scheduler name sched.ByName accepts for a simulated run.
+func ByName(name string) (Executor, error) {
+	if name == NativeName {
+		return nativeExecutor{}, nil
+	}
+	s, err := sched.ByName(name)
+	if err != nil {
+		return nil, fmt.Errorf("exec: unknown executor %q (simulated: %v; native: %q)",
+			name, sched.Names(), NativeName)
+	}
+	return simExecutor{s}, nil
+}
+
+// Names lists every registered executor: the simulated schedulers in their
+// usual order, then the native runtime.
+func Names() []string {
+	return append(sched.Names(), NativeName)
+}
+
+// simExecutor adapts a sched.Scheduler to the Executor contract.
+type simExecutor struct{ s sched.Scheduler }
+
+func (x simExecutor) Name() string { return x.s.Name() }
+
+func (x simExecutor) Run(w workload.Workload, spec Spec) stats.Run {
+	cfg := x.machine(spec)
+	return x.s.Run(w, cfg, spec.Seed)
+}
+
+func (x simExecutor) machine(spec Spec) sim.Config {
+	if spec.Machine != nil {
+		return *spec.Machine
+	}
+	if spec.Hardware {
+		cfg := sim.DefaultHW()
+		if spec.Cores > 0 {
+			cfg.Cores = spec.Cores
+		}
+		return cfg
+	}
+	cores := spec.Cores
+	if cores <= 0 {
+		cores = 40
+	}
+	return sim.DefaultSW(cores)
+}
+
+// nativeExecutor adapts the goroutine runtime to the Executor contract.
+type nativeExecutor struct{}
+
+func (nativeExecutor) Name() string { return NativeName }
+
+func (nativeExecutor) Run(w workload.Workload, spec Spec) stats.Run {
+	var cfg runtime.Config
+	if spec.Native != nil {
+		cfg = *spec.Native
+	} else {
+		workers := spec.Cores
+		if workers <= 0 {
+			workers = 4
+		}
+		cfg = runtime.DefaultConfig(workers)
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = spec.Seed
+	}
+	return runtime.RunAsStats(w, cfg)
+}

@@ -1,0 +1,87 @@
+package exec
+
+import (
+	"testing"
+
+	"hdcps/internal/graph"
+	"hdcps/internal/sched"
+	"hdcps/internal/sim"
+	"hdcps/internal/workload"
+)
+
+func TestByNameNative(t *testing.T) {
+	x, err := ByName(NativeName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Name() != NativeName {
+		t.Fatalf("name %q", x.Name())
+	}
+	g := graph.Road(12, 12, 3)
+	w, err := workload.New("sssp", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := x.Run(w, Spec{Cores: 2, Seed: 7})
+	if r.CompletionTime <= 0 || r.TasksProcessed <= 0 {
+		t.Fatalf("empty native run: %+v", r)
+	}
+	if r.EdgesExamined <= 0 {
+		t.Fatalf("native run dropped EdgesExamined: %+v", r)
+	}
+	if r.Cores != 2 {
+		t.Fatalf("cores %d, want 2", r.Cores)
+	}
+	if err := w.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestByNameSimulated(t *testing.T) {
+	x, err := ByName("hdcps-sw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Road(12, 12, 3)
+	w, err := workload.New("bfs", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := x.Run(w, Spec{Cores: 8, Seed: 3})
+	if r.CompletionTime <= 0 || r.Cores != 8 {
+		t.Fatalf("sim run wrong: %+v", r)
+	}
+	if err := w.Verify(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hardware flag selects the Table I machine.
+	hw := x.Run(w.Clone(), Spec{Seed: 3, Hardware: true})
+	if want := sim.DefaultHW().Cores; hw.Cores != want {
+		t.Fatalf("hardware cores %d, want %d", hw.Cores, want)
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown executor must error")
+	}
+}
+
+func TestNamesCoverSchedulersPlusNative(t *testing.T) {
+	names := Names()
+	want := len(sched.Names()) + 1
+	if len(names) != want {
+		t.Fatalf("%d executors, want %d", len(names), want)
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		seen[n] = true
+		if _, err := ByName(n); err != nil {
+			t.Errorf("registered executor %q does not resolve: %v", n, err)
+		}
+	}
+	if !seen[NativeName] {
+		t.Fatalf("registry misses %q: %v", NativeName, names)
+	}
+}

@@ -5,8 +5,8 @@ import (
 
 	"hdcps/internal/bag"
 	"hdcps/internal/drift"
+	"hdcps/internal/exec"
 	"hdcps/internal/graph"
-	"hdcps/internal/runtime"
 	"hdcps/internal/sched"
 	"hdcps/internal/sim"
 	"hdcps/internal/stats"
@@ -421,17 +421,21 @@ func fig10(o Options) (Result, error) {
 	if err != nil {
 		return res, err
 	}
+	native, err := exec.ByName(exec.NativeName)
+	if err != nil {
+		return res, err
+	}
 	var natT []float64
 	for _, p := range subset {
 		w, err := set.workloadFor(p)
 		if err != nil {
 			return res, err
 		}
-		nr := runtime.Run(w, runtime.DefaultConfig(workers))
+		nr := native.Run(w, exec.Spec{Cores: workers, Seed: o.Seed})
 		if err := w.Verify(); err != nil {
 			return res, fmt.Errorf("exp: native run wrong on %s: %w", p.Label(), err)
 		}
-		natT = append(natT, float64(nr.Elapsed.Nanoseconds()))
+		natT = append(natT, float64(nr.CompletionTime))
 	}
 	gs, gn := stats.Geomean(simT), stats.Geomean(natT)
 	for i, p := range subset {

@@ -1,0 +1,111 @@
+package runtime
+
+// The control layer is the drift-feedback plane of §III-C: workers report
+// the priority of their latest task (Algorithm 3's send side), the layer
+// assembles per-interval snapshots, runs the Algorithm 2 controller, and
+// publishes the resulting TDF for every dispatch decision to read with one
+// atomic load. It is the only part of the runtime with any cross-worker
+// policy state, which is why it gets its own file and tests.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"hdcps/internal/drift"
+)
+
+// neverReported is the sentinel a worker's report slot holds before its
+// first report. It is excluded from drift snapshots: feeding the zero value
+// of an idle slot into Equation 1 would fabricate a huge drift term (the
+// reference is the minimum report) and skew the controller's first
+// adjustments — exactly what happened when a fast worker reported twice
+// before a slow one reported at all.
+const neverReported = int64(1) << 62
+
+// controlPlane owns drift reporting and TDF propagation for one engine.
+type controlPlane struct {
+	useTDF bool
+
+	// reports holds each worker's latest priority (atomic access), seeded
+	// with neverReported.
+	reports     []int64
+	reportCount atomic.Int64
+
+	mu   sync.Mutex // serializes controller updates and history reads
+	ctrl *drift.Controller
+
+	// tdf is the propagated task-distribution factor in percent; every
+	// dispatch reads it with one atomic load (the paper's non-blocking
+	// propagation: workers keep using the previous value until the master's
+	// update lands).
+	tdf atomic.Int64
+}
+
+// newControlPlane builds the plane for cfg.Workers workers. With UseTDF off
+// the TDF is pinned to FixedTDF (default 100: always distribute).
+func newControlPlane(cfg Config) *controlPlane {
+	cp := &controlPlane{
+		useTDF:  cfg.UseTDF,
+		reports: make([]int64, cfg.Workers),
+		ctrl:    drift.NewController(cfg.Drift),
+	}
+	for i := range cp.reports {
+		cp.reports[i] = neverReported
+	}
+	if cfg.UseTDF {
+		cp.tdf.Store(int64(cp.ctrl.TDF()))
+	} else {
+		tdf := int64(cfg.FixedTDF)
+		if tdf <= 0 {
+			tdf = 100
+		}
+		cp.tdf.Store(tdf)
+	}
+	return cp
+}
+
+// TDF returns the current task-distribution factor in percent.
+func (cp *controlPlane) TDF() int64 { return cp.tdf.Load() }
+
+// SampleInterval returns the per-worker report spacing in processed tasks.
+func (cp *controlPlane) SampleInterval() int64 {
+	return int64(cp.ctrl.Config().SampleInterval)
+}
+
+// Report implements Algorithm 3's send plus the master-side Algorithm 2
+// step: the reporting worker stores its latest priority, and whichever
+// report completes an interval (one report per worker's worth of sends)
+// assembles the snapshot and runs the controller. Workers that have never
+// reported are excluded from the snapshot rather than contributing stale
+// zeros.
+func (cp *controlPlane) Report(id int, prio int64) {
+	atomic.StoreInt64(&cp.reports[id], prio)
+	if cp.reportCount.Add(1) < int64(len(cp.reports)) {
+		return
+	}
+	cp.reportCount.Store(0)
+	if !cp.useTDF {
+		return
+	}
+	snapshot := make([]int64, 0, len(cp.reports))
+	for i := range cp.reports {
+		if p := atomic.LoadInt64(&cp.reports[i]); p != neverReported {
+			snapshot = append(snapshot, p)
+		}
+	}
+	if len(snapshot) == 0 {
+		return
+	}
+	cp.mu.Lock()
+	tdf := cp.ctrl.Update(snapshot)
+	cp.mu.Unlock()
+	cp.tdf.Store(int64(tdf))
+}
+
+// History returns the controller's per-interval drift/TDF records. Safe to
+// call while workers are still reporting.
+func (cp *controlPlane) History() []drift.Record {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.ctrl.History()
+}

@@ -1,0 +1,84 @@
+package runtime
+
+import (
+	"testing"
+
+	"hdcps/internal/drift"
+)
+
+// A fast worker completing a whole report interval alone must not drag the
+// other workers' never-reported (zero-valued) slots into the drift
+// snapshot: before the sentinel fix, three phantom zeros against priority
+// 1000 fabricated a drift of 750 and steered the controller's first moves.
+func TestControlPlaneExcludesNeverReported(t *testing.T) {
+	cfg := Config{Workers: 4, UseTDF: true}.withDefaults()
+	cp := newControlPlane(cfg)
+	for i := 0; i < 4; i++ {
+		cp.Report(0, 1000)
+	}
+	h := cp.History()
+	if len(h) != 1 {
+		t.Fatalf("controller updates %d, want 1 (interval completes at 4 reports)", len(h))
+	}
+	if h[0].Drift != 0 {
+		t.Fatalf("drift %v, want 0: never-reported workers leaked into the snapshot", h[0].Drift)
+	}
+}
+
+func TestControlPlaneFullSnapshotDrift(t *testing.T) {
+	cfg := Config{Workers: 4, UseTDF: true}.withDefaults()
+	cp := newControlPlane(cfg)
+	for i, p := range []int64{100, 200, 300, 400} {
+		cp.Report(i, p)
+	}
+	h := cp.History()
+	if len(h) != 1 {
+		t.Fatalf("controller updates %d, want 1", len(h))
+	}
+	// Eq. 1: mean |p - min| = (0 + 100 + 200 + 300) / 4.
+	if h[0].Drift != 150 {
+		t.Fatalf("drift %v, want 150", h[0].Drift)
+	}
+}
+
+func TestControlPlaneFixedTDF(t *testing.T) {
+	cfg := Config{Workers: 2, FixedTDF: 70}.withDefaults()
+	cp := newControlPlane(cfg)
+	if cp.TDF() != 70 {
+		t.Fatalf("TDF %d, want 70", cp.TDF())
+	}
+	cp.Report(0, 5)
+	cp.Report(1, 10)
+	if cp.TDF() != 70 {
+		t.Fatalf("fixed TDF moved to %d", cp.TDF())
+	}
+	if h := cp.History(); len(h) != 0 {
+		t.Fatalf("fixed-TDF plane ran the controller: %v", h)
+	}
+
+	// Unset FixedTDF defaults to 100 (always distribute).
+	cp2 := newControlPlane(Config{Workers: 2}.withDefaults())
+	if cp2.TDF() != 100 {
+		t.Fatalf("default fixed TDF %d, want 100", cp2.TDF())
+	}
+}
+
+func TestControlPlaneAdaptive(t *testing.T) {
+	cfg := Config{Workers: 2, UseTDF: true, Drift: drift.Config{InitialTDF: 50, Step: 10}}.withDefaults()
+	cp := newControlPlane(cfg)
+	if cp.TDF() != 50 {
+		t.Fatalf("initial TDF %d, want 50", cp.TDF())
+	}
+	// First interval records a baseline, second (improving drift, default
+	// OnImprove=Increase) raises the TDF.
+	cp.Report(0, 100)
+	cp.Report(1, 300) // drift 100
+	cp.Report(0, 100)
+	cp.Report(1, 150) // drift 25: improved
+	if cp.TDF() != 60 {
+		t.Fatalf("TDF %d after improving drift, want 60", cp.TDF())
+	}
+	if len(cp.History()) != 2 {
+		t.Fatalf("history %d entries, want 2", len(cp.History()))
+	}
+}

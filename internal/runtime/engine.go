@@ -1,0 +1,586 @@
+package runtime
+
+// Engine is the long-lived form of the native runtime: a worker fleet that
+// accepts externally submitted work while running, quiesces without dying,
+// and only exits on Stop. The one-shot Run keeps its historical signature
+// as a thin wrapper (Start → Submit(InitialTasks) → Drain → Stop).
+//
+// Layering: the engine owns the worker loop and the outstanding-task
+// accounting; inter-worker transfer lives behind Transport (transport.go),
+// the private priority queue behind LocalQueue (localq.go), bag payloads in
+// payloadStore (payload.go), and drift/TDF policy in controlPlane
+// (control.go).
+//
+// Termination protocol (epoch-aware): every task in the system is counted
+// in `outstanding`, and the count for a task's children is added before any
+// child becomes visible to another worker, so outstanding can never dip to
+// zero while work exists. A worker that finds outstanding == 0 does not
+// exit — it parks on the fleet's condition variable. Submit increments
+// outstanding, publishes the tasks through the transport, advances the
+// submission epoch, and broadcasts; because the parked worker re-checks
+// outstanding under the same lock the broadcast takes, a Submit can never
+// slip between the check and the wait (no lost wakeup). Stop sets the stop
+// flag and broadcasts, which is the only way a parked worker exits.
+
+import (
+	"context"
+	"errors"
+	stdruntime "runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hdcps/internal/bag"
+	"hdcps/internal/graph"
+	"hdcps/internal/task"
+	"hdcps/internal/workload"
+)
+
+// ErrStopped is returned by Submit and Drain once Stop has been requested.
+var ErrStopped = errors.New("runtime: engine stopped")
+
+// Engine lifecycle states.
+const (
+	stateNew int32 = iota
+	stateRunning
+	stateStopping
+	stateStopped
+)
+
+// bagMarker tags a ring task as bag metadata (node IDs never reach 2^32-1).
+const bagMarker = ^graph.NodeID(0)
+
+// Engine is a running instance of the native HD-CPS scheduler. Construct
+// with NewEngine, then Start; Submit/Drain/Snapshot may be called from any
+// goroutine while it runs. A single workload instance must not be shared
+// across simultaneous engines.
+type Engine struct {
+	cfg       Config
+	w         workload.Workload
+	transport Transport
+	// rt is the devirtualized view of the default transport: non-nil when
+	// transport is the stock ringTransport, letting the worker loop make
+	// direct (inlinable) calls instead of paying interface dispatch on
+	// every iteration. Custom transports take the interface path.
+	rt      *ringTransport
+	control *controlPlane
+	workers []worker
+
+	sampleInterval int64
+
+	// outstanding counts every task (and bag) emitted but not yet fully
+	// processed; zero means the system is quiescent.
+	outstanding atomic.Int64
+	// epoch counts Submit calls; parked workers wake when it advances.
+	epoch atomic.Uint64
+	stop  atomic.Bool
+	state atomic.Int32
+
+	mu   sync.Mutex // guards the park/wake handshake
+	cond *sync.Cond
+
+	quiet chan struct{} // signaled when outstanding reaches zero
+	done  chan struct{} // closed when every worker has exited
+	wg    sync.WaitGroup
+
+	startedAt time.Time
+	elapsed   time.Duration // set by the monitor before done closes
+}
+
+type worker struct {
+	id    int
+	queue LocalQueue
+	rng   *graph.RNG
+
+	// store holds this worker's outgoing bag payloads (pull transport): the
+	// consumer resolves the metadata's Data field against it and releases
+	// the slot when done.
+	store payloadStore
+
+	// children is the per-task scratch emit buffer; emit is the one
+	// allocation-free closure appending to it, and part the reusable-scratch
+	// bag partitioner (its output is consumed before the next task).
+	children []task.Task
+	emit     func(task.Task)
+	newBagID func() uint64
+	part     bag.Partitioner
+
+	// Run-local counters: plain fields on the hot path, mirrored into the
+	// pub* atomics at flush/park/exit boundaries so Snapshot can read them
+	// race-free while the worker runs.
+	processed   int64
+	bags        int64
+	edges       int64
+	idleParks   int64
+	sinceReport int64
+	sinceFlush  int
+
+	pubProcessed atomic.Int64
+	pubBags      atomic.Int64
+	pubEdges     atomic.Int64
+	pubIdleParks atomic.Int64
+
+	_pad [4]int64 // reduce false sharing between workers
+}
+
+// publish mirrors the worker-local counters into their atomic shadows.
+func (me *worker) publish() {
+	me.pubProcessed.Store(me.processed)
+	me.pubBags.Store(me.bags)
+	me.pubEdges.Store(me.edges)
+	me.pubIdleParks.Store(me.idleParks)
+}
+
+// NewEngine builds an engine over w (which is Reset) with cfg defaults
+// applied. The engine is inert until Start.
+func NewEngine(w workload.Workload, cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	w.Reset()
+	e := &Engine{
+		cfg:     cfg,
+		w:       w,
+		workers: make([]worker, cfg.Workers),
+		control: newControlPlane(cfg),
+		quiet:   make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}
+	e.cond = sync.NewCond(&e.mu)
+	e.sampleInterval = e.control.SampleInterval()
+	if cfg.NewTransport != nil {
+		e.transport = cfg.NewTransport(cfg)
+	} else {
+		e.transport = newRingTransport(cfg.Workers, cfg.RingSize, cfg.BatchSize)
+	}
+	e.rt, _ = e.transport.(*ringTransport)
+	for i := range e.workers {
+		me := &e.workers[i]
+		me.id = i
+		me.queue = newLocalQueue(cfg)
+		me.rng = graph.NewRNG(cfg.Seed + uint64(i)*0x9e3779b9)
+		me.children = make([]task.Task, 0, 16)
+		// One closure for the whole engine, so Process calls do not allocate
+		// a fresh emit callback per task.
+		me.emit = func(c task.Task) { me.children = append(me.children, c) }
+		me.newBagID = func() uint64 {
+			return uint64(me.id)<<32 | uint64(me.store.alloc().idx)
+		}
+	}
+	return e
+}
+
+// Start launches the worker fleet. It returns an error if the engine was
+// already started.
+func (e *Engine) Start() error {
+	// The state transition happens under the fleet lock so a pre-start
+	// Submit (which seeds worker queues directly) cannot interleave with
+	// worker launch.
+	e.mu.Lock()
+	ok := e.state.CompareAndSwap(stateNew, stateRunning)
+	e.mu.Unlock()
+	if !ok {
+		return errors.New("runtime: engine already started")
+	}
+	e.startedAt = time.Now()
+	for i := range e.workers {
+		e.wg.Add(1)
+		go func(id int) {
+			defer e.wg.Done()
+			e.runWorker(id)
+		}(i)
+	}
+	go func() {
+		e.wg.Wait()
+		e.elapsed = time.Since(e.startedAt)
+		close(e.done)
+	}()
+	return nil
+}
+
+// Submit injects tasks into the engine, waking any parked workers. It is
+// safe to call from any number of goroutines, before or while the fleet
+// runs. Tasks are spread round-robin across workers through the transport.
+// Submitting to a stopped engine returns ErrStopped (tasks racing a
+// concurrent Stop may be abandoned unprocessed, like all in-flight work).
+func (e *Engine) Submit(ts ...task.Task) error {
+	if len(ts) == 0 {
+		return nil
+	}
+	if e.stop.Load() {
+		return ErrStopped
+	}
+	if e.state.Load() == stateNew && e.submitIdle(ts) {
+		return nil
+	}
+	// The count lands before any task is published, preserving the
+	// outstanding-never-falsely-zero invariant.
+	e.outstanding.Add(int64(len(ts)))
+	if n := len(e.workers); n == 1 {
+		e.transport.Inject(0, ts)
+	} else {
+		buckets := make([][]task.Task, n)
+		for i, t := range ts {
+			d := i % n
+			buckets[d] = append(buckets[d], t)
+		}
+		for d, b := range buckets {
+			if len(b) > 0 {
+				e.transport.Inject(d, b)
+			}
+		}
+	}
+	e.epoch.Add(1)
+	e.wakeAll()
+	return nil
+}
+
+// submitIdle seeds ts straight into the worker queues while no worker is
+// running yet (Submit before Start), skipping the transport round-trip the
+// rings would charge. It re-checks the state under the fleet lock — Start
+// transitions out of stateNew under the same lock — so a racing Start either
+// sees the tasks already queued or makes this report false and the caller
+// falls back to the transport path.
+func (e *Engine) submitIdle(ts []task.Task) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.state.Load() != stateNew {
+		return false
+	}
+	e.outstanding.Add(int64(len(ts)))
+	n := len(e.workers)
+	for i, t := range ts {
+		e.workers[i%n].queue.Push(t)
+	}
+	e.epoch.Add(1)
+	return true
+}
+
+// Drain blocks until the engine is quiescent — every submitted task and all
+// transitively generated work fully processed — or ctx is cancelled. The
+// fleet stays running (parked) afterwards; more work may be Submitted.
+func (e *Engine) Drain(ctx context.Context) error {
+	// Hot phase: quiescence usually lands within microseconds of the last
+	// retired task, so poll briefly before arming timers.
+	for spin := 0; spin < 256; spin++ {
+		if e.outstanding.Load() == 0 {
+			return nil
+		}
+		if e.stop.Load() {
+			return ErrStopped
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		stdruntime.Gosched()
+	}
+	tick := time.NewTicker(200 * time.Microsecond)
+	defer tick.Stop()
+	for {
+		if e.outstanding.Load() == 0 {
+			return nil
+		}
+		if e.stop.Load() {
+			return ErrStopped
+		}
+		select {
+		case <-e.quiet:
+		case <-tick.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// Stop asks the fleet to exit — parked workers wake and return, busy
+// workers stop after their current task, abandoning unprocessed work (Drain
+// first for a clean finish) — and waits for every worker to exit or ctx to
+// be cancelled. A cancelled ctx makes Stop return promptly with ctx.Err()
+// while workers keep winding down in the background; calling Stop again
+// waits for them.
+func (e *Engine) Stop(ctx context.Context) error {
+	if e.state.CompareAndSwap(stateNew, stateStopped) {
+		e.stop.Store(true)
+		close(e.done) // never started: nothing to join
+		return nil
+	}
+	e.state.CompareAndSwap(stateRunning, stateStopping)
+	e.stop.Store(true)
+	e.wakeAll()
+	select {
+	case <-e.done:
+		e.state.Store(stateStopped)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// wakeAll broadcasts to parked workers. Taking the lock orders the
+// broadcast after any in-flight park decision, closing the lost-wakeup
+// window.
+func (e *Engine) wakeAll() {
+	e.mu.Lock()
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+// park blocks the worker until work is submitted or the engine stops, and
+// reports whether the worker should keep running.
+func (e *Engine) park(me *worker) bool {
+	me.idleParks++
+	me.publish()
+	e.mu.Lock()
+	for e.outstanding.Load() == 0 && !e.stop.Load() {
+		e.cond.Wait()
+	}
+	e.mu.Unlock()
+	return !e.stop.Load()
+}
+
+// account adjusts the outstanding-task count and signals quiescence when it
+// reaches zero. Positive deltas (new children) are added before the tasks
+// are published, so a zero here always means a truly quiescent system.
+func (e *Engine) account(delta int64) {
+	if e.outstanding.Add(delta) == 0 {
+		select {
+		case e.quiet <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// recv, send, pending, and flush route the worker loop's per-iteration
+// transport calls through the devirtualized rt when the stock transport is
+// in use; a custom Transport pays the interface dispatch instead.
+func (e *Engine) recv(id int, buf []task.Task) []task.Task {
+	if e.rt != nil {
+		return e.rt.Recv(id, buf)
+	}
+	return e.transport.Recv(id, buf)
+}
+
+func (e *Engine) send(src, dst int, t task.Task) {
+	if e.rt != nil {
+		e.rt.Send(src, dst, t)
+		return
+	}
+	e.transport.Send(src, dst, t)
+}
+
+func (e *Engine) pending(id int) int {
+	if e.rt != nil {
+		return e.rt.Pending(id)
+	}
+	return e.transport.Pending(id)
+}
+
+func (e *Engine) flush(id int) {
+	if e.rt != nil {
+		e.rt.Flush(id)
+		return
+	}
+	e.transport.Flush(id)
+}
+
+func (e *Engine) runWorker(id int) {
+	me := &e.workers[id]
+	defer me.publish()
+	buf := make([]task.Task, 0, 64)
+	idle := 0
+	for {
+		if e.stop.Load() {
+			return
+		}
+		// Drain the receive side (ring + spilled batches) into the queue.
+		buf = e.recv(id, buf[:0])
+		for _, t := range buf {
+			me.queue.Push(t)
+		}
+
+		t, ok := me.queue.Pop()
+		if !ok {
+			if e.pending(id) > 0 {
+				// Out of local work: ship every partial batch before idling
+				// so no task waits on this worker's buffers.
+				e.flush(id)
+				me.sinceFlush = 0
+				continue
+			}
+			if e.outstanding.Load() == 0 {
+				// Quiescent fleet: park until Submit or Stop.
+				if !e.park(me) {
+					return
+				}
+				idle = 0
+				continue
+			}
+			// Adaptive backoff: re-poll hot for a moment (work often lands
+			// within a few hundred ns), then yield the P so the workers
+			// holding tasks can run, then park briefly so an idle worker
+			// stops costing the scheduler anything.
+			idle++
+			switch {
+			case idle <= e.cfg.IdleSpin:
+			case idle <= 2*e.cfg.IdleSpin:
+				stdruntime.Gosched()
+			default:
+				time.Sleep(e.cfg.IdleSleep)
+			}
+			continue
+		}
+		idle = 0
+
+		if t.Node == bagMarker {
+			owner, idx := int(t.Data>>32), uint32(t.Data)
+			st := &e.workers[owner].store
+			s := st.get(idx)
+			for _, bt := range s.tasks {
+				e.processOne(id, me, bt)
+			}
+			st.release(s)
+			e.account(-1) // the bag itself
+		} else {
+			e.processOne(id, me, t)
+		}
+
+		if me.sinceFlush >= e.cfg.FlushInterval && e.pending(id) > 0 {
+			e.flush(id)
+			me.sinceFlush = 0
+			me.publish()
+		}
+	}
+}
+
+// processOne executes one task and distributes its children.
+func (e *Engine) processOne(id int, me *worker, t task.Task) {
+	me.children = me.children[:0]
+	me.edges += int64(e.w.Process(t, me.emit))
+	me.processed++
+
+	// Account all new work and retire this task in one shared atomic; the
+	// increment lands before any child becomes visible, so outstanding can
+	// never dip to zero while work exists.
+	if len(me.children) > 0 {
+		bags, singles := me.part.Partition(me.children, e.cfg.Bags, me.newBagID)
+		e.account(int64(len(bags)) + int64(countTasks(bags)) + int64(len(singles)) - 1)
+		for _, b := range bags {
+			me.bags++
+			s := me.store.get(uint32(b.ID))
+			s.tasks = append(s.tasks[:0], b.Tasks...)
+			e.dispatch(id, me, task.Task{Node: bagMarker, Prio: b.Prio, Data: b.ID})
+		}
+		for _, c := range singles {
+			e.dispatch(id, me, c)
+		}
+	} else {
+		e.account(-1)
+	}
+
+	// Drift reporting (Algorithm 3's send threshold).
+	me.sinceFlush++
+	me.sinceReport++
+	if me.sinceReport >= e.sampleInterval {
+		me.sinceReport = 0
+		e.control.Report(id, t.Prio)
+	}
+}
+
+func countTasks(bags []bag.Bag) int {
+	n := 0
+	for _, b := range bags {
+		n += len(b.Tasks)
+	}
+	return n
+}
+
+// dispatch routes one unit (task or bag metadata) to a destination chosen
+// by the current TDF. Remote units go through the transport's batching;
+// local units go straight to the private queue.
+func (e *Engine) dispatch(id int, me *worker, t task.Task) {
+	dst := id
+	if n := len(e.workers); n > 1 && int64(me.rng.Uint32n(100)) < e.control.TDF() {
+		d := int(me.rng.Uint32n(uint32(n - 1)))
+		if d >= id {
+			d++
+		}
+		dst = d
+	}
+	if dst == id {
+		me.queue.Push(t)
+		return
+	}
+	e.send(id, dst, t)
+}
+
+// WorkerStats is one worker's Snapshot row.
+type WorkerStats struct {
+	Processed      int64 // tasks executed (bag payloads included)
+	Bags           int64 // bags created by this worker
+	OverflowSpills int64 // full-ring spills that landed at this worker
+	IdleParks      int64 // times the worker parked on a quiescent fleet
+}
+
+// Snapshot is a cheap point-in-time view of a running engine: per-worker
+// counters (published at flush/park boundaries, so each lags by at most one
+// flush interval) plus the live control-plane state.
+type Snapshot struct {
+	Epoch       uint64 // Submit calls so far
+	Outstanding int64  // tasks submitted or spawned but not yet retired
+	TDF         int    // current task-distribution factor (percent)
+
+	TasksProcessed int64
+	BagsCreated    int64
+	EdgesExamined  int64
+
+	Workers []WorkerStats
+}
+
+// Snapshot reads the engine's counters without disturbing the workers.
+// Safe from any goroutine at any lifecycle stage.
+func (e *Engine) Snapshot() Snapshot {
+	s := Snapshot{
+		Epoch:       e.epoch.Load(),
+		Outstanding: e.outstanding.Load(),
+		TDF:         int(e.control.TDF()),
+		Workers:     make([]WorkerStats, len(e.workers)),
+	}
+	for i := range e.workers {
+		me := &e.workers[i]
+		ws := WorkerStats{
+			Processed:      me.pubProcessed.Load(),
+			Bags:           me.pubBags.Load(),
+			OverflowSpills: e.transport.Spills(i),
+			IdleParks:      me.pubIdleParks.Load(),
+		}
+		s.Workers[i] = ws
+		s.TasksProcessed += ws.Processed
+		s.BagsCreated += ws.Bags
+		s.EdgesExamined += me.pubEdges.Load()
+	}
+	return s
+}
+
+// Result returns the engine's cumulative metrics. It is exact once Stop has
+// returned nil (every worker has flushed its counters); on a running engine
+// it is the same lagged view Snapshot provides.
+func (e *Engine) Result() Result {
+	var res Result
+	select {
+	case <-e.done:
+		res.Elapsed = e.elapsed
+	default:
+		if e.state.Load() != stateNew {
+			res.Elapsed = time.Since(e.startedAt)
+		}
+	}
+	for i := range e.workers {
+		me := &e.workers[i]
+		res.TasksProcessed += me.pubProcessed.Load()
+		res.BagsCreated += me.pubBags.Load()
+		res.EdgesExamined += me.pubEdges.Load()
+	}
+	for _, rec := range e.control.History() {
+		res.DriftTrace = append(res.DriftTrace, rec.Drift)
+		res.TDFTrace = append(res.TDFTrace, rec.TDF)
+	}
+	return res
+}

@@ -1,0 +1,27 @@
+package runtime
+
+// The local-queue layer is each worker's private priority queue (§III-A):
+// tasks drained from the transport land here, and the worker always
+// processes its locally-highest-priority task next. The queue is private to
+// one goroutine, so any pq.Queue implementation works without locks; the
+// policy knob is which heap shape backs it.
+
+import "hdcps/internal/pq"
+
+// LocalQueue is the per-worker private priority queue contract. It is
+// exactly pq.Queue — single-owner, no internal synchronization.
+type LocalQueue = pq.Queue
+
+// newLocalQueue builds one worker's queue from the configured policy:
+// Config.Queue when set (the pluggable hook), else a d-ary heap of
+// Config.HeapArity (2 keeps the classic binary heap the simulator's cost
+// model charges for; the default 4 is the cache-friendly choice).
+func newLocalQueue(cfg Config) LocalQueue {
+	if cfg.Queue != nil {
+		return cfg.Queue()
+	}
+	if cfg.HeapArity == 2 {
+		return pq.NewBinaryHeap(64)
+	}
+	return pq.NewDHeap(cfg.HeapArity, 64)
+}

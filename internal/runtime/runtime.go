@@ -6,6 +6,17 @@
 // it is the "real machine" side of the paper's simulator-correlation
 // experiment (Fig. 10).
 //
+// The runtime is layered, one file per layer, each behind a small
+// interface so it can be tested and replaced independently:
+//
+//   - transport.go — Transport: the inter-worker task-transfer fabric
+//     (MPSC ring + lock-free Treiber overflow + per-destination batching);
+//   - localq.go — LocalQueue: the per-worker private priority queue;
+//   - payload.go — payloadStore: the pull-transport bag-payload store;
+//   - control.go — controlPlane: drift reporting and TDF propagation;
+//   - engine.go — Engine: the long-lived worker fleet with the
+//     Start / Submit / Drain / Stop lifecycle and epoch-aware termination.
+//
 // The hot paths follow the levers that "Engineering MultiQueues" and
 // Wimmer et al. identify for this scheduler shape: remote children are
 // accumulated per destination and flushed with one CAS per batch
@@ -17,22 +28,16 @@
 package runtime
 
 import (
-	stdruntime "runtime"
-	"sync"
-	"sync/atomic"
+	"context"
 	"time"
 
 	"hdcps/internal/bag"
 	"hdcps/internal/drift"
-	"hdcps/internal/graph"
-	"hdcps/internal/pq"
-	"hdcps/internal/rq"
 	"hdcps/internal/stats"
-	"hdcps/internal/task"
 	"hdcps/internal/workload"
 )
 
-// Config configures a native run.
+// Config configures a native engine (and the one-shot Run wrapper).
 type Config struct {
 	// Workers is the number of worker goroutines (default GOMAXPROCS-ish 4).
 	Workers int
@@ -52,6 +57,13 @@ type Config struct {
 	// heap (what the simulator's cost model charges for), anything else is a
 	// d-ary heap of that arity. 0 defaults to 4, the cache-friendly choice.
 	HeapArity int
+	// Queue, when non-nil, overrides HeapArity with a custom per-worker
+	// local queue (the pluggable local-queue layer; called once per worker).
+	Queue func() LocalQueue
+	// NewTransport, when non-nil, replaces the ring fabric with a custom
+	// transport layer. It receives the fully defaulted Config.
+	NewTransport func(Config) Transport
+
 	// BatchSize is the per-destination dispatch buffer: remote children
 	// accumulate until BatchSize are ready, then ship with a single
 	// claim-CAS (rq.TryPushBatch). 0 defaults to 16.
@@ -68,31 +80,8 @@ type Config struct {
 	IdleSleep time.Duration
 }
 
-// DefaultConfig returns the paper-tuned native configuration.
-func DefaultConfig(workers int) Config {
-	return Config{
-		Workers:  workers,
-		RingSize: 256,
-		Bags:     bag.DefaultPolicy(),
-		UseTDF:   true,
-	}
-}
-
-// Result reports a native run's metrics.
-type Result struct {
-	Elapsed        time.Duration
-	TasksProcessed int64
-	BagsCreated    int64
-	EdgesExamined  int64
-	DriftTrace     []float64
-	TDFTrace       []int
-}
-
-// Run executes w to completion with cfg and returns the run metrics. The
-// workload is Reset first. It is safe to call concurrently with different
-// workloads, but a single workload instance must not be shared across
-// simultaneous runs.
-func Run(w workload.Workload, cfg Config) Result {
+// withDefaults fills unset knobs with the paper-tuned values.
+func (cfg Config) withDefaults() Config {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 4
 	}
@@ -117,82 +106,49 @@ func Run(w workload.Workload, cfg Config) Result {
 	if cfg.IdleSleep <= 0 {
 		cfg.IdleSleep = 50 * time.Microsecond
 	}
-	w.Reset()
-
-	e := &engine{
-		cfg:     cfg,
-		w:       w,
-		workers: make([]worker, cfg.Workers),
-		ctrl:    drift.NewController(cfg.Drift),
-		reports: make([]int64, cfg.Workers),
-	}
-	if cfg.UseTDF {
-		e.tdf.Store(int64(e.ctrl.TDF()))
-	} else {
-		tdf := int64(cfg.FixedTDF)
-		if tdf <= 0 {
-			tdf = 100
-		}
-		e.tdf.Store(tdf)
-	}
-	for i := range e.workers {
-		me := &e.workers[i]
-		me.id = i
-		me.ring = rq.NewRing(cfg.RingSize)
-		me.heap = newHeap(cfg.HeapArity, 64)
-		me.rng = graph.NewRNG(cfg.Seed + uint64(i)*0x9e3779b9)
-		me.out = make([][]task.Task, cfg.Workers)
-		for j := range me.out {
-			if j != i {
-				me.out[j] = make([]task.Task, 0, cfg.BatchSize)
-			}
-		}
-		me.children = make([]task.Task, 0, 16)
-		// One closure for the whole run, so Process calls do not allocate a
-		// fresh emit callback per task.
-		me.emit = func(c task.Task) { me.children = append(me.children, c) }
-		me.newBagID = func() uint64 {
-			return uint64(me.id)<<32 | uint64(me.store.alloc().idx)
-		}
-	}
-
-	initial := w.InitialTasks()
-	e.outstanding.Store(int64(len(initial)))
-	for i, t := range initial {
-		e.workers[i%cfg.Workers].heap.Push(t)
-	}
-
-	start := time.Now()
-	var wg sync.WaitGroup
-	for i := 0; i < cfg.Workers; i++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			e.run(id)
-		}(i)
-	}
-	wg.Wait()
-
-	res := Result{
-		Elapsed:        time.Since(start),
-		TasksProcessed: e.processed.Load(),
-		BagsCreated:    e.bagsCreated.Load(),
-		EdgesExamined:  e.edgesExamined.Load(),
-	}
-	for _, rec := range e.ctrl.History() {
-		res.DriftTrace = append(res.DriftTrace, rec.Drift)
-		res.TDFTrace = append(res.TDFTrace, rec.TDF)
-	}
-	return res
+	return cfg
 }
 
-// newHeap builds the private per-worker priority queue for the configured
-// arity (2 keeps the classic binary heap the simulator models).
-func newHeap(arity, capacity int) pq.Queue {
-	if arity == 2 {
-		return pq.NewBinaryHeap(capacity)
+// DefaultConfig returns the paper-tuned native configuration.
+func DefaultConfig(workers int) Config {
+	return Config{
+		Workers:  workers,
+		RingSize: 256,
+		Bags:     bag.DefaultPolicy(),
+		UseTDF:   true,
 	}
-	return pq.NewDHeap(arity, capacity)
+}
+
+// Result reports a native run's metrics.
+type Result struct {
+	Elapsed        time.Duration
+	TasksProcessed int64
+	BagsCreated    int64
+	EdgesExamined  int64
+	DriftTrace     []float64
+	TDFTrace       []int
+}
+
+// Run executes w to completion with cfg and returns the run metrics: the
+// one-shot compatibility wrapper over the Engine lifecycle
+// (Submit(InitialTasks) → Start → Drain → Stop). Submitting before Start
+// seeds the worker queues directly — the transport never sees the initial
+// tasks, and the fleet wakes up with work already in hand instead of
+// spinning on empty rings. The workload is Reset first. Elapsed covers
+// start-of-fleet to quiescence. It is safe to call concurrently with
+// different workloads, but a single workload instance must not be shared
+// across simultaneous runs.
+func Run(w workload.Workload, cfg Config) Result {
+	e := NewEngine(w, cfg)
+	_ = e.Submit(w.InitialTasks()...)
+	_ = e.Start()
+	// Background contexts: neither call can fail on a running engine.
+	_ = e.Drain(context.Background())
+	elapsed := time.Since(e.startedAt)
+	_ = e.Stop(context.Background())
+	res := e.Result()
+	res.Elapsed = elapsed
+	return res
 }
 
 // RunAsStats adapts a native Result into the stats.Run vocabulary shared
@@ -203,286 +159,12 @@ func RunAsStats(w workload.Workload, cfg Config) stats.Run {
 		Scheduler:      "native-hdcps",
 		Workload:       w.Name(),
 		Input:          w.Graph().Name,
-		Cores:          cfg.Workers,
+		Cores:          cfg.withDefaults().Workers,
 		CompletionTime: res.Elapsed.Nanoseconds(),
 		TasksProcessed: res.TasksProcessed,
 		BagsCreated:    res.BagsCreated,
+		EdgesExamined:  res.EdgesExamined,
 		DriftTrace:     res.DriftTrace,
 		TDFTrace:       res.TDFTrace,
 	}
 }
-
-type worker struct {
-	id   int
-	ring *rq.Ring
-	heap pq.Queue
-	rng  *graph.RNG
-
-	// overflow catches batches that found the ring full (the sender-side
-	// flow-control fallback): a lock-free MPSC Treiber stack remote senders
-	// push onto and only the owner drains.
-	overflow overflowStack
-
-	// store holds this worker's outgoing bag payloads (pull transport): the
-	// consumer resolves the metadata's Data field against it and releases
-	// the slot when done.
-	store payloadStore
-
-	// out accumulates remote children per destination; a buffer ships via
-	// TryPushBatch when it reaches BatchSize, when FlushInterval tasks have
-	// passed, or when this worker runs out of local work.
-	out        [][]task.Task
-	outPending int
-	sinceFlush int
-
-	// children is the per-task scratch emit buffer; emit is the one
-	// allocation-free closure appending to it, and part the reusable-scratch
-	// bag partitioner (its output is consumed before the next task).
-	children []task.Task
-	emit     func(task.Task)
-	newBagID func() uint64
-	part     bag.Partitioner
-
-	// Run-local counters, folded into the engine totals once at exit so the
-	// per-task path performs a single shared atomic (outstanding).
-	processed int64
-	bags      int64
-	edges     int64
-
-	sinceReport int64
-	_pad        [4]int64 // reduce false sharing between workers
-}
-
-type engine struct {
-	cfg     Config
-	w       workload.Workload
-	workers []worker
-
-	outstanding   atomic.Int64 // tasks emitted but not yet fully processed
-	processed     atomic.Int64
-	bagsCreated   atomic.Int64
-	edgesExamined atomic.Int64
-	tdf           atomic.Int64
-
-	// Drift reporting (Alg. 2/3): workers write their latest priority,
-	// the master consumes a full set.
-	reports     []int64
-	reportCount atomic.Int64
-	ctrlMu      sync.Mutex
-	ctrl        *drift.Controller
-}
-
-// bagMarker tags a ring task as bag metadata (node IDs never reach 2^32-1).
-const bagMarker = ^graph.NodeID(0)
-
-func (e *engine) run(id int) {
-	me := &e.workers[id]
-	defer func() {
-		e.processed.Add(me.processed)
-		e.bagsCreated.Add(me.bags)
-		e.edgesExamined.Add(me.edges)
-	}()
-	buf := make([]task.Task, 0, 64)
-	idle := 0
-	for {
-		// Drain the receive ring (and any spilled batches) into the heap.
-		buf = me.ring.Drain(buf[:0], 0)
-		for node := me.overflow.takeAll(); node != nil; node = node.next {
-			buf = append(buf, node.tasks...)
-		}
-		for _, t := range buf {
-			me.heap.Push(t)
-		}
-
-		t, ok := me.heap.Pop()
-		if !ok {
-			if me.outPending > 0 {
-				// Out of local work: ship every partial batch before idling
-				// so no task waits on this worker's buffers.
-				e.flushAll(me)
-				continue
-			}
-			if e.outstanding.Load() == 0 {
-				return // global termination: no tasks anywhere
-			}
-			// Adaptive backoff: re-poll hot for a moment (work often lands
-			// within a few hundred ns), then yield the P so the workers
-			// holding tasks can run, then park briefly so an idle worker
-			// stops costing the scheduler anything.
-			idle++
-			switch {
-			case idle <= e.cfg.IdleSpin:
-			case idle <= 2*e.cfg.IdleSpin:
-				stdruntime.Gosched()
-			default:
-				time.Sleep(e.cfg.IdleSleep)
-			}
-			continue
-		}
-		idle = 0
-
-		if t.Node == bagMarker {
-			owner, idx := int(t.Data>>32), uint32(t.Data)
-			st := &e.workers[owner].store
-			s := st.get(idx)
-			for _, bt := range s.tasks {
-				e.processOne(id, me, bt)
-			}
-			st.release(s)
-			e.outstanding.Add(-1) // the bag itself
-		} else {
-			e.processOne(id, me, t)
-		}
-
-		if me.sinceFlush >= e.cfg.FlushInterval && me.outPending > 0 {
-			e.flushAll(me)
-		}
-	}
-}
-
-// processOne executes one task and distributes its children.
-func (e *engine) processOne(id int, me *worker, t task.Task) {
-	me.children = me.children[:0]
-	me.edges += int64(e.w.Process(t, me.emit))
-	me.processed++
-
-	// Account all new work and retire this task in one shared atomic; the
-	// increment lands before any child becomes visible, so outstanding can
-	// never dip to zero while work exists.
-	if len(me.children) > 0 {
-		bags, singles := me.part.Partition(me.children, e.cfg.Bags, me.newBagID)
-		e.outstanding.Add(int64(len(bags)) + int64(countTasks(bags)) + int64(len(singles)) - 1)
-		for _, b := range bags {
-			me.bags++
-			s := me.store.get(uint32(b.ID))
-			s.tasks = append(s.tasks[:0], b.Tasks...)
-			e.dispatch(id, me, task.Task{Node: bagMarker, Prio: b.Prio, Data: b.ID})
-		}
-		for _, c := range singles {
-			e.dispatch(id, me, c)
-		}
-	} else {
-		e.outstanding.Add(-1)
-	}
-
-	// Drift reporting.
-	me.sinceFlush++
-	me.sinceReport++
-	if me.sinceReport >= int64(e.ctrl.Config().SampleInterval) {
-		me.sinceReport = 0
-		e.report(id, t.Prio)
-	}
-}
-
-func countTasks(bags []bag.Bag) int {
-	n := 0
-	for _, b := range bags {
-		n += len(b.Tasks)
-	}
-	return n
-}
-
-// dispatch routes one unit (task or bag metadata) to a destination chosen
-// by the current TDF. Remote units buffer per destination and ship in
-// batches; local units go straight to the private heap.
-func (e *engine) dispatch(id int, me *worker, t task.Task) {
-	dst := id
-	if n := len(e.workers); n > 1 && int64(me.rng.Uint32n(100)) < e.tdf.Load() {
-		d := int(me.rng.Uint32n(uint32(n - 1)))
-		if d >= id {
-			d++
-		}
-		dst = d
-	}
-	if dst == id {
-		me.heap.Push(t)
-		return
-	}
-	me.out[dst] = append(me.out[dst], t)
-	me.outPending++
-	if len(me.out[dst]) >= e.cfg.BatchSize {
-		e.flushTo(me, dst)
-	}
-}
-
-// flushTo ships one destination's buffered batch: as much as fits through
-// the ring in claim-CAS batches, the remainder spilled to the destination's
-// lock-free overflow stack.
-func (e *engine) flushTo(me *worker, dst int) {
-	buf := me.out[dst]
-	if len(buf) == 0 {
-		return
-	}
-	w := &e.workers[dst]
-	pushed := 0
-	for pushed < len(buf) {
-		n := w.ring.TryPushBatch(buf[pushed:])
-		if n == 0 {
-			break
-		}
-		pushed += n
-	}
-	if rest := buf[pushed:]; len(rest) > 0 {
-		// Ring full: park the remainder at the destination. The node copies
-		// the tasks because buf is reused for the next batch.
-		w.overflow.push(&overflowNode{tasks: append([]task.Task(nil), rest...)})
-	}
-	me.outPending -= len(buf)
-	me.out[dst] = buf[:0]
-}
-
-// flushAll ships every partial batch.
-func (e *engine) flushAll(me *worker) {
-	for dst := range me.out {
-		e.flushTo(me, dst)
-	}
-	me.sinceFlush = 0
-}
-
-// report implements Algorithm 3's send + the master-side Algorithm 2 step.
-func (e *engine) report(id int, prio int64) {
-	atomic.StoreInt64(&e.reports[id], prio)
-	if e.reportCount.Add(1) < int64(len(e.workers)) {
-		return
-	}
-	e.reportCount.Store(0)
-	if !e.cfg.UseTDF {
-		return
-	}
-	snapshot := make([]int64, len(e.reports))
-	for i := range e.reports {
-		snapshot[i] = atomic.LoadInt64(&e.reports[i])
-	}
-	e.ctrlMu.Lock()
-	tdf := e.ctrl.Update(snapshot)
-	e.ctrlMu.Unlock()
-	e.tdf.Store(int64(tdf))
-}
-
-// overflowStack is the sender-side flow-control fallback: when a
-// destination's ring is full, the rejected batch is parked on this
-// lock-free MPSC Treiber stack (any sender pushes; only the owner drains,
-// by swapping the whole list out). It replaces the seed's mutex-guarded
-// slice, so a full ring no longer serializes its senders.
-type overflowStack struct {
-	head atomic.Pointer[overflowNode]
-}
-
-type overflowNode struct {
-	tasks []task.Task
-	next  *overflowNode
-}
-
-func (s *overflowStack) push(n *overflowNode) {
-	for {
-		old := s.head.Load()
-		n.next = old
-		if s.head.CompareAndSwap(old, n) {
-			return
-		}
-	}
-}
-
-// takeAll detaches the whole stack in one swap; popping everything at once
-// sidesteps the ABA hazard of per-node pops.
-func (s *overflowStack) takeAll() *overflowNode { return s.head.Swap(nil) }

@@ -99,4 +99,7 @@ func TestRunAsStats(t *testing.T) {
 	if r.Scheduler != "native-hdcps" || r.CompletionTime <= 0 || r.Cores != 2 {
 		t.Fatalf("stats adaptation wrong: %+v", r)
 	}
+	if r.EdgesExamined <= 0 {
+		t.Fatalf("EdgesExamined dropped in stats adaptation: %+v", r)
+	}
 }

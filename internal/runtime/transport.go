@@ -1,0 +1,181 @@
+package runtime
+
+// The transport layer realizes §III-A's decoupling of inter-worker task
+// transfer from task processing. It owns everything a task touches between
+// the moment a worker (or an external Submit) decides the task belongs to
+// somebody else and the moment the destination drains it into its private
+// queue: the per-worker MPSC receive ring, the lock-free overflow stack a
+// full ring spills into, and the per-destination send buffers that turn
+// many remote children into one claim-CAS per batch (rq.TryPushBatch).
+//
+// The engine talks to the layer only through the Transport interface, so a
+// test (or an alternative fabric: NUMA-aware rings, a cross-process shim)
+// can replace the whole mechanism without touching the worker loop.
+
+import (
+	"sync/atomic"
+
+	"hdcps/internal/rq"
+	"hdcps/internal/task"
+)
+
+// Transport is the engine's view of inter-worker task transfer. Worker
+// identity is an index in [0, workers); Send/Pending/Flush/Recv carry the
+// calling worker's own id and are single-caller per id, while Inject may be
+// called by any number of goroutines concurrently (the Engine.Submit path).
+type Transport interface {
+	// Send queues t for delivery from worker src to worker dst (dst != src).
+	// Delivery may be deferred until a batch fills or Flush runs.
+	Send(src, dst int, t task.Task)
+	// Pending reports how many tasks src has buffered but not yet shipped.
+	Pending(src int) int
+	// Flush ships every partial batch src has buffered.
+	Flush(src int)
+	// Recv appends every task currently deliverable to worker id onto dst
+	// and returns the extended slice. Owner-only, like a ring drain.
+	Recv(id int, dst []task.Task) []task.Task
+	// Inject delivers ts to worker id from outside the fleet, bypassing the
+	// sender-side batching. Safe for concurrent use from any goroutine.
+	Inject(id int, ts []task.Task)
+	// Spills reports how many overflow spills have landed at worker id's
+	// endpoint so far (full-ring flow-control events, for Snapshot).
+	Spills(id int) int64
+}
+
+// ringTransport is the production Transport: one endpoint per worker, each
+// a Vyukov-style MPSC ring plus a Treiber overflow stack, with sender-side
+// per-destination batching.
+type ringTransport struct {
+	batch int
+	eps   []endpoint
+}
+
+// endpoint is one worker's transport state. The receive side (ring,
+// overflow, spills) is written by remote senders and drained only by the
+// owner; the send side (out, pending) is owned exclusively by the worker.
+type endpoint struct {
+	ring     *rq.Ring
+	overflow overflowStack
+	spills   atomic.Int64
+
+	// out accumulates remote tasks per destination; a buffer ships via
+	// TryPushBatch when it reaches the batch size or on Flush.
+	out     [][]task.Task
+	pending int
+
+	_pad [4]int64 // reduce false sharing between adjacent endpoints
+}
+
+// newRingTransport builds the fabric for `workers` endpoints with rings of
+// ringSize slots and per-destination batches of `batch` tasks.
+func newRingTransport(workers, ringSize, batch int) *ringTransport {
+	tr := &ringTransport{batch: batch, eps: make([]endpoint, workers)}
+	for i := range tr.eps {
+		ep := &tr.eps[i]
+		ep.ring = rq.NewRing(ringSize)
+		ep.out = make([][]task.Task, workers)
+		for j := range ep.out {
+			if j != i {
+				ep.out[j] = make([]task.Task, 0, batch)
+			}
+		}
+	}
+	return tr
+}
+
+func (tr *ringTransport) Send(src, dst int, t task.Task) {
+	ep := &tr.eps[src]
+	ep.out[dst] = append(ep.out[dst], t)
+	ep.pending++
+	if len(ep.out[dst]) >= tr.batch {
+		tr.flushTo(src, dst)
+	}
+}
+
+func (tr *ringTransport) Pending(src int) int { return tr.eps[src].pending }
+
+func (tr *ringTransport) Flush(src int) {
+	for dst := range tr.eps[src].out {
+		tr.flushTo(src, dst)
+	}
+}
+
+// flushTo ships one destination's buffered batch: as much as fits through
+// the ring in claim-CAS batches, the remainder spilled to the destination's
+// lock-free overflow stack.
+func (tr *ringTransport) flushTo(src, dst int) {
+	ep := &tr.eps[src]
+	buf := ep.out[dst]
+	if len(buf) == 0 {
+		return
+	}
+	tr.deliver(dst, buf)
+	ep.pending -= len(buf)
+	ep.out[dst] = buf[:0]
+}
+
+// deliver pushes ts into dst's ring, spilling whatever does not fit onto
+// dst's overflow stack. ts is copied (into ring slots or the overflow
+// node), so the caller may reuse it immediately.
+func (tr *ringTransport) deliver(dst int, ts []task.Task) {
+	w := &tr.eps[dst]
+	pushed := 0
+	for pushed < len(ts) {
+		n := w.ring.TryPushBatch(ts[pushed:])
+		if n == 0 {
+			break
+		}
+		pushed += n
+	}
+	if rest := ts[pushed:]; len(rest) > 0 {
+		// Ring full: park the remainder at the destination. The node copies
+		// the tasks because the caller's buffer is reused.
+		w.overflow.push(&overflowNode{tasks: append([]task.Task(nil), rest...)})
+		w.spills.Add(1)
+	}
+}
+
+func (tr *ringTransport) Recv(id int, dst []task.Task) []task.Task {
+	ep := &tr.eps[id]
+	dst = ep.ring.Drain(dst, 0)
+	// A plain load gates the detach: the swap is an RMW on a line remote
+	// senders write, and this runs on every worker-loop iteration.
+	if ep.overflow.head.Load() != nil {
+		for node := ep.overflow.takeAll(); node != nil; node = node.next {
+			dst = append(dst, node.tasks...)
+		}
+	}
+	return dst
+}
+
+func (tr *ringTransport) Inject(id int, ts []task.Task) { tr.deliver(id, ts) }
+
+func (tr *ringTransport) Spills(id int) int64 { return tr.eps[id].spills.Load() }
+
+// overflowStack is the receive-side flow-control fallback: when a
+// destination's ring is full, the rejected batch is parked on this
+// lock-free MPSC Treiber stack (any sender pushes; only the owner drains,
+// by swapping the whole list out), so a full ring never serializes its
+// senders behind a lock.
+type overflowStack struct {
+	head atomic.Pointer[overflowNode]
+}
+
+type overflowNode struct {
+	tasks []task.Task
+	next  *overflowNode
+}
+
+func (s *overflowStack) push(n *overflowNode) {
+	for {
+		old := s.head.Load()
+		n.next = old
+		if s.head.CompareAndSwap(old, n) {
+			return
+		}
+	}
+}
+
+// takeAll detaches the whole stack in one swap; popping everything at once
+// sidesteps the ABA hazard of per-node pops.
+func (s *overflowStack) takeAll() *overflowNode { return s.head.Swap(nil) }

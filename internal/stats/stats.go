@@ -72,6 +72,7 @@ type Run struct {
 
 	TasksProcessed int64 // total tasks executed (incl. redundant work)
 	SeqTasks       int64 // tasks the sequential baseline needs
+	EdgesExamined  int64 // edges touched while processing (work-efficiency detail)
 	MessagesSent   int64
 	L1Hits         int64
 	L2Hits         int64
