@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build tier1 vet race bench bench-native ci
+.PHONY: all build tier1 vet lint race bench bench-smoke bench-native ci
 
 all: ci
 
@@ -14,25 +14,47 @@ tier1: build
 vet:
 	$(GO) vet ./...
 
+# Lint: gofmt is a hard gate everywhere; staticcheck runs when installed
+# (the CI workflow installs it, minimal containers may not have it).
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt: needs formatting:"; echo "$$out"; exit 1; \
+	fi
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping (CI runs it)"; \
+	fi
+
 # Race tier: the concurrency-heavy packages under the race detector. The
 # native runtime (engine lifecycle, transport, control plane), the MPSC
-# ring, the payload transport, the executor registry that fronts the
-# runtime, and the parallel experiment driver are where a data race would
-# actually live. The exp run is scoped to the driver tests: racing the full
-# figure suite is ~10min on one core and exercises no concurrency the
-# driver tests don't.
+# ring, the payload transport, the observability recorder, the executor
+# registry that fronts the runtime, and the parallel experiment driver are
+# where a data race would actually live. The exp run is scoped to the
+# driver tests: racing the full figure suite is ~10min on one core and
+# exercises no concurrency the driver tests don't.
 race:
-	$(GO) test -race ./internal/rq/... ./internal/runtime/... ./internal/bag/... ./internal/exec/...
+	$(GO) test -race ./internal/rq/... ./internal/runtime/... ./internal/bag/... ./internal/obs/... ./internal/exec/...
 	$(GO) test -race -run 'TestParallel' -count=1 ./internal/exp/
 
 # Hot-path microbenchmarks (ring push/batch, heap arity, partitioner,
-# native runtime throughput). Compare runs with benchstat; see EXPERIMENTS.md.
+# native runtime throughput with and without the obs recorder). The root
+# package carries BenchmarkNativeRuntime{,Observed}; compare runs with
+# benchstat, see EXPERIMENTS.md.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkRingPush|BenchmarkHeapPushPop|BenchmarkPartition|BenchmarkNativeRuntime' \
-		-benchmem ./internal/rq/ ./internal/pq/ ./internal/bag/ ./internal/runtime/
+		-benchmem . ./internal/rq/ ./internal/pq/ ./internal/bag/ ./internal/runtime/
+
+# Bench smoke: prove every benchmark still runs and the native bench
+# harness still emits a report — a fixed tiny iteration count, not a
+# measurement (CI runs this; use `make bench` + benchstat for numbers).
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkRingPush|BenchmarkHeapPushPop|BenchmarkPartition|BenchmarkNativeRuntime' \
+		-benchtime 100x -benchmem . ./internal/rq/ ./internal/pq/ ./internal/bag/ ./internal/runtime/
+	$(GO) run ./cmd/hdcps-bench -native -label smoke -scale tiny -reps 2 -o -
 
 # Refresh BENCH_native.json for the current tree (label with the short SHA).
 bench-native:
 	$(GO) run ./cmd/hdcps-bench -native -label $$(git rev-parse --short HEAD) -o BENCH_native.json
 
-ci: tier1 vet race
+ci: tier1 vet lint race

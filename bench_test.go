@@ -5,6 +5,7 @@ import (
 
 	"hdcps/internal/exp"
 	"hdcps/internal/graph"
+	"hdcps/internal/obs"
 	"hdcps/internal/runtime"
 	"hdcps/internal/sched"
 	"hdcps/internal/sim"
@@ -92,6 +93,38 @@ func BenchmarkNativeRuntime(b *testing.B) {
 				}
 				res := runtime.Run(w, runtime.DefaultConfig(4))
 				tasks += res.TasksProcessed
+			}
+			b.ReportMetric(float64(tasks)/float64(b.N), "tasks/op")
+		})
+	}
+}
+
+// BenchmarkNativeRuntimeObserved is BenchmarkNativeRuntime with a live
+// obs.Recorder attached — the number that backs the observability layer's
+// "within 3% of disabled" overhead claim. Compare:
+//
+//	go test -run XX -bench 'NativeRuntime(Observed)?/sssp' -count 10 .
+func BenchmarkNativeRuntimeObserved(b *testing.B) {
+	g := graph.Road(48, 48, 42)
+	for _, name := range workload.Names() {
+		b.Run(name, func(b *testing.B) {
+			// One long-lived recorder across iterations, as a service would
+			// run it; worker rows hold absolute per-run totals, so the
+			// consistency check below stays per-iteration.
+			cfg := runtime.DefaultConfig(4)
+			rec := obs.New(obs.Config{Workers: cfg.Workers})
+			cfg.Obs = rec
+			var tasks int64
+			for i := 0; i < b.N; i++ {
+				w, err := workload.New(name, g)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res := runtime.Run(w, cfg)
+				tasks += res.TasksProcessed
+				if rec.Total(obs.CTasksProcessed) != res.TasksProcessed {
+					b.Fatal("recorder disagrees with runtime result")
+				}
 			}
 			b.ReportMetric(float64(tasks)/float64(b.N), "tasks/op")
 		})

@@ -32,6 +32,7 @@ func main() {
 		format = flag.String("format", "table", "output format: table or csv")
 		list   = flag.Bool("list", false, "list experiments and exit")
 		par    = flag.Int("par", 0, "experiment grid worker pool size (0 = GOMAXPROCS)")
+		trace  = flag.String("trace", "", "JSONL observability trace output for trace-producing experiments (e.g. drift-timeline; \"-\" for stdout)")
 
 		native  = flag.Bool("native", false, "benchmark the native goroutine runtime and emit BENCH_native.json")
 		label   = flag.String("label", "dev", "label for the -native run (e.g. a commit or PR id)")
@@ -58,7 +59,7 @@ func main() {
 		return
 	}
 
-	opts := exp.Options{Scale: *scale, Seed: *seed, Cores: *cores, Par: *par}
+	opts := exp.Options{Scale: *scale, Seed: *seed, Cores: *cores, Par: *par, TracePath: *trace}
 	ids := []string{strings.ToLower(*id)}
 	if *id == "all" {
 		ids = exp.IDs()

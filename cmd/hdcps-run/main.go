@@ -7,17 +7,29 @@
 //
 //	hdcps-run -sched hdcps-sw -workload sssp -input road -cores 40 [-hw] [-scale small]
 //	hdcps-run -sched native -workload sssp -input road -cores 4
+//	hdcps-run -sched native -workload sssp -input road -trace trace.jsonl -metrics :6060
 //	hdcps-run -list
+//
+// For -sched native, -trace writes the observability layer's JSONL trace
+// (schema "hdcps-obs/v1": counters, sampled events, the drift/ref/TDF
+// control series) and -metrics serves expvar + pprof + a live counter
+// snapshot at /debug/obs while the run executes.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // register /debug/pprof on the -metrics server
 	"os"
 	"strings"
 
 	"hdcps/internal/exec"
 	"hdcps/internal/graph"
+	"hdcps/internal/obs"
+	"hdcps/internal/runtime"
+	"hdcps/internal/stats"
 	"hdcps/internal/workload"
 )
 
@@ -32,6 +44,8 @@ func main() {
 		seed      = flag.Uint64("seed", 42, "deterministic seed")
 		verify    = flag.Bool("verify", true, "verify the workload result against the sequential reference")
 		list      = flag.Bool("list", false, "list executors and workloads, then exit")
+		trace     = flag.String("trace", "", "write the native runtime's JSONL observability trace here (\"-\" for stdout; -sched native only)")
+		metrics   = flag.String("metrics", "", "serve expvar/pprof/obs debug HTTP on this address during the run, e.g. :6060 (-sched native only)")
 	)
 	flag.Parse()
 
@@ -56,7 +70,34 @@ func main() {
 	}
 	native := *schedName == exec.NativeName
 
-	r := x.Run(w, exec.Spec{Cores: *cores, Seed: *seed, Hardware: *hw})
+	spec := exec.Spec{Cores: *cores, Seed: *seed, Hardware: *hw}
+	var rec *obs.Recorder
+	if *trace != "" || *metrics != "" {
+		if !native {
+			fatal(fmt.Errorf("-trace/-metrics need the native runtime (use -sched native)"))
+		}
+		workers := *cores
+		if workers <= 0 {
+			workers = 4
+		}
+		cfg := runtime.DefaultConfig(workers)
+		cfg.Seed = *seed
+		rec = obs.New(obs.Config{Workers: workers})
+		cfg.Obs = rec
+		spec.Native = &cfg
+		if *metrics != "" {
+			expvar.Publish("hdcps_obs", expvar.Func(rec.Vars()))
+			http.Handle("/debug/obs", rec.Handler())
+			go func() {
+				if err := http.ListenAndServe(*metrics, nil); err != nil {
+					fmt.Fprintf(os.Stderr, "hdcps-run: metrics server: %v\n", err)
+				}
+			}()
+			fmt.Fprintf(os.Stderr, "metrics: serving /debug/vars /debug/pprof/ /debug/obs on %s\n", *metrics)
+		}
+	}
+
+	r := x.Run(w, spec)
 	r.SeqTasks = workload.RunSequential(w.Clone())
 
 	fmt.Printf("executor:        %s\n", r.Scheduler)
@@ -86,12 +127,44 @@ func main() {
 		fmt.Printf("breakdown:       %s\n", r.Breakdown)
 	}
 
+	if rec != nil {
+		fmt.Printf("obs:             %d events recorded, %d spills, %d parks, %d TDF steps\n",
+			rec.EventCount(), rec.Total(obs.COverflowSpills),
+			rec.Total(obs.CIdleParks), rec.Total(obs.CTDFSteps))
+	}
+	if *trace != "" {
+		if err := writeTrace(*trace, rec, r); err != nil {
+			fatal(err)
+		}
+		if *trace != "-" {
+			fmt.Printf("trace:           %s (%s)\n", *trace, obs.TraceSchema)
+		}
+	}
+
 	if *verify {
 		if err := w.Verify(); err != nil {
 			fatal(fmt.Errorf("verification FAILED: %w", err))
 		}
 		fmt.Println("verification:    OK")
 	}
+}
+
+// writeTrace dumps the recorder's JSONL trace plus the run's control-plane
+// time series (drift/ref/TDF per interval).
+func writeTrace(path string, rec *obs.Recorder, r stats.Run) error {
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := rec.WriteJSONL(out); err != nil {
+		return err
+	}
+	return obs.WriteControlJSONL(out, obs.ControlSeries(r.DriftTrace, r.RefTrace, r.TDFTrace))
 }
 
 func mode(native, hw bool) string {

@@ -31,6 +31,7 @@ import (
 	"hdcps/internal/exec"
 	"hdcps/internal/exp"
 	"hdcps/internal/graph"
+	"hdcps/internal/obs"
 	"hdcps/internal/runtime"
 	"hdcps/internal/sched"
 	"hdcps/internal/sim"
@@ -65,6 +66,18 @@ type (
 	Engine = runtime.Engine
 	// EngineSnapshot is a point-in-time view of a running Engine.
 	EngineSnapshot = runtime.Snapshot
+	// Recorder is the native runtime's observability collector: per-worker
+	// lock-free counters plus ring-buffered event traces. Attach one via
+	// NativeConfig.Obs (see NewRecorder); a nil recorder costs the hot path
+	// a single predictable branch.
+	Recorder = obs.Recorder
+	// RecorderConfig sizes a Recorder (workers, trace ring, task sampling).
+	RecorderConfig = obs.Config
+	// ObsEvent is one entry of a Recorder's trace.
+	ObsEvent = obs.Event
+	// ControlPoint is one interval of the control plane's time series:
+	// measured drift, reference priority, and the TDF chosen next.
+	ControlPoint = obs.ControlPoint
 	// Executor runs a workload under any registered execution vehicle — a
 	// simulated scheduler or the native runtime — behind one interface.
 	Executor = exec.Executor
@@ -146,6 +159,11 @@ func NewEngine(w Workload, cfg NativeConfig) *Engine { return runtime.NewEngine(
 // DefaultNativeConfig returns the paper-tuned native configuration for the
 // given worker count.
 func DefaultNativeConfig(workers int) NativeConfig { return runtime.DefaultConfig(workers) }
+
+// NewRecorder builds an observability recorder. Set it as
+// NativeConfig.Obs before constructing the engine; read it back during or
+// after the run (Engine.Obs, Recorder.Counters/Events/WriteJSONL/Handler).
+func NewRecorder(cfg RecorderConfig) *Recorder { return obs.New(cfg) }
 
 // NewExecutor resolves an executor by name: every scheduler name
 // NewScheduler accepts (run on the simulator) plus "native" (the goroutine

@@ -133,9 +133,12 @@ type Controller struct {
 }
 
 // Record is one interval's controller state, kept for drift traces and the
-// oracle comparison.
+// oracle comparison. Ref is the reference priority (Equation 1's P0) the
+// interval's drift was computed against; callers that feed UpdateDrift a
+// precomputed drift leave it zero.
 type Record struct {
 	Drift float64
+	Ref   int64
 	TDF   int
 }
 
@@ -161,14 +164,20 @@ func (c *Controller) History() []Record {
 // Update runs one Algorithm 2 step from the cores' priority reports and
 // returns the TDF for the next interval.
 func (c *Controller) Update(reports []int64) int {
-	pd := Drift(reports, MinReference(reports))
-	return c.UpdateDrift(pd)
+	ref := MinReference(reports)
+	return c.UpdateWithRef(Drift(reports, ref), ref)
 }
 
-// UpdateDrift is Update for callers that have already computed the drift.
-func (c *Controller) UpdateDrift(pd float64) int {
+// UpdateDrift is Update for callers that have already computed the drift
+// (the interval record's Ref stays zero).
+func (c *Controller) UpdateDrift(pd float64) int { return c.UpdateWithRef(pd, 0) }
+
+// UpdateWithRef runs one controller step from a precomputed drift and the
+// reference priority it was measured against, keeping both in the interval
+// record so time-series consumers can reconstruct the feedback loop.
+func (c *Controller) UpdateWithRef(pd float64, ref int64) int {
 	defer func() {
-		c.history = append(c.history, Record{Drift: pd, TDF: c.tdf})
+		c.history = append(c.history, Record{Drift: pd, Ref: ref, TDF: c.tdf})
 		c.pdPrev = pd
 		c.havePrev = true
 	}()

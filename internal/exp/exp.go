@@ -30,6 +30,10 @@ type Options struct {
 	// deterministic and independent, so any Par produces bit-identical
 	// Results; Par only changes wall time.
 	Par int
+	// TracePath, when set, makes trace-producing experiments (currently
+	// drift-timeline) write their full JSONL observability trace there
+	// ("-" for stdout). Other experiments ignore it.
+	TracePath string
 }
 
 func (o Options) normalized() Options {

@@ -29,6 +29,7 @@ func init() {
 	register(Experiment{"fig14", "Bag transport: push vs pull (Fig. 14)", fig14})
 	register(Experiment{"fig15", "Bag-creation threshold sweep (Fig. 15)", fig15})
 	register(Experiment{"motivation", "Ordering spectrum: unordered vs relaxed vs ordered (§II, extension)", motivation})
+	register(Experiment{"drift-timeline", "Native drift/TDF feedback timeline (obs trace)", driftTimeline})
 }
 
 // runOne executes one (scheduler, pair) combination, verifies the workload

@@ -1,0 +1,164 @@
+package obs
+
+// Export paths for the recorder: a JSONL trace stream (one self-describing
+// JSON object per line, schema "hdcps-obs/v1"), an expvar.Func for the
+// /debug/vars ecosystem, and an http.Handler serving a point-in-time JSON
+// snapshot. The JSONL layout is deliberately grep/jq-friendly:
+//
+//	{"type":"meta","schema":"hdcps-obs/v1","workers":4,...}
+//	{"type":"counters","worker":0,"tasks_processed":123,...}
+//	{"type":"event","ts_ns":52100,"worker":1,"kind":"tdf-step","tdf":60,...}
+//	{"type":"control","interval":3,"drift":41.5,"ref":12,"tdf":70}
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"time"
+)
+
+// TraceSchema identifies the JSONL trace layout.
+const TraceSchema = "hdcps-obs/v1"
+
+// jsonFields renders an event's kind-specific payload. Keeping the mapping
+// here (not on Event) makes the wire names the single source of truth.
+func (e Event) jsonFields() map[string]any {
+	switch e.Kind {
+	case EvTask:
+		return map[string]any{"prio": e.A, "processed": e.B, "edges": e.C}
+	case EvSubmit:
+		return map[string]any{"count": e.A}
+	case EvBagCreated:
+		return map[string]any{"prio": e.A, "size": e.B}
+	case EvBagOpened:
+		return map[string]any{"size": e.A}
+	case EvSpill:
+		return map[string]any{"tasks": e.A}
+	case EvDriftReport:
+		return map[string]any{"prio": e.A}
+	case EvTDFStep:
+		return map[string]any{"tdf": e.A, "drift": math.Float64frombits(uint64(e.B)), "ref": e.C}
+	default: // park, wake: no payload
+		return nil
+	}
+}
+
+// MarshalJSON renders the event with its kind-specific field names.
+func (e Event) MarshalJSON() ([]byte, error) {
+	m := map[string]any{
+		"ts_ns":  e.TS,
+		"worker": e.Worker,
+		"kind":   e.Kind.String(),
+	}
+	for k, v := range e.jsonFields() {
+		m[k] = v
+	}
+	return json.Marshal(m)
+}
+
+// WriteJSONL streams the recorder's state as JSONL: one meta line, one
+// counters line per row, then every retained event in timestamp order.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	meta := map[string]any{
+		"type":         "meta",
+		"schema":       TraceSchema,
+		"workers":      r.cfg.Workers,
+		"ring_size":    r.cfg.RingSize,
+		"sample_every": r.cfg.SampleEvery,
+		"start":        r.start.Format(time.RFC3339Nano),
+		"elapsed_ns":   time.Since(r.start).Nanoseconds(),
+		"events_total": r.EventCount(),
+	}
+	if err := enc.Encode(meta); err != nil {
+		return err
+	}
+	for _, row := range r.Counters() {
+		line := map[string]any{"type": "counters", "worker": row.Worker}
+		for c := Counter(0); c < numCounters; c++ {
+			line[c.String()] = row.Values[c]
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	for _, ev := range r.Events() {
+		buf, err := json.Marshal(ev)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(bw, `{"type":"event",%s`+"\n", buf[1:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteControlJSONL appends the control plane's time series to a JSONL
+// trace: one {"type":"control",...} line per interval.
+func WriteControlJSONL(w io.Writer, pts []ControlPoint) error {
+	bw := bufio.NewWriter(w)
+	for _, p := range pts {
+		buf, err := json.Marshal(p)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(bw, `{"type":"control",%s`+"\n", buf[1:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// snapshot is the structure Handler and Vars serve.
+type snapshot struct {
+	Schema  string           `json:"schema"`
+	Workers int              `json:"workers"`
+	Totals  map[string]int64 `json:"totals"`
+	Rows    []map[string]any `json:"rows"`
+	Events  uint64           `json:"events_total"`
+}
+
+func (r *Recorder) snapshot() snapshot {
+	s := snapshot{
+		Schema:  TraceSchema,
+		Workers: r.cfg.Workers,
+		Totals:  make(map[string]int64, int(numCounters)),
+		Events:  r.EventCount(),
+	}
+	for _, row := range r.Counters() {
+		line := map[string]any{"worker": row.Worker}
+		for c := Counter(0); c < numCounters; c++ {
+			line[c.String()] = row.Values[c]
+			s.Totals[c.String()] += row.Values[c]
+		}
+		s.Rows = append(s.Rows, line)
+	}
+	return s
+}
+
+// Vars returns a function suitable for expvar.Publish(name, expvar.Func(...)):
+// the live counter snapshot as a JSON-encodable value.
+func (r *Recorder) Vars() func() any {
+	return func() any { return r.snapshot() }
+}
+
+// Handler serves the recorder over HTTP: a JSON counter snapshot by
+// default, or the full JSONL trace with ?trace=1.
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("trace") != "" {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			_ = r.WriteJSONL(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.snapshot())
+	})
+}

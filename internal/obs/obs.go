@@ -1,0 +1,383 @@
+// Package obs is the native runtime's observability layer: low-overhead
+// per-worker metrics counters and ring-buffered event traces that let the
+// drift/TDF feedback loop — the paper's whole contribution — be watched
+// converging over time instead of inferred from a one-shot snapshot.
+//
+// The design follows the constraints of the engine's hot path:
+//
+//   - Counters are per-worker rows of padded atomics. A worker only ever
+//     touches its own row, so every update is an uncontended atomic on a
+//     cache line nothing else writes: lock-free, race-clean, and cheap
+//     enough to sit on the task-retirement path. Readers aggregate rows
+//     with plain atomic loads at any time.
+//   - Events land in a per-worker ring buffer guarded by a per-worker
+//     mutex. Events are orders of magnitude rarer than tasks (task events
+//     are sampled, the rest mark bag/spill/park/control transitions), so an
+//     uncontended lock per event is noise; the ring overwrites the oldest
+//     entries, bounding memory for arbitrarily long runs.
+//   - The whole layer hangs off a nil-able *Recorder. A disabled engine
+//     pays exactly one predictable branch per recording site and allocates
+//     nothing.
+//
+// Export paths: WriteJSONL streams the trace as one JSON object per line
+// (schema documented in the README), Handler serves a JSON snapshot over
+// HTTP, and Vars plugs the counter totals into expvar.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter identifies one per-worker metric.
+type Counter uint8
+
+// The counter set. CTasksProcessed and CEdgesExamined are gauges mirrored
+// from the worker's run-local totals (stored, not added, so they are exact
+// at quiescence); the rest are monotone event counts.
+const (
+	CTasksProcessed Counter = iota // tasks retired (bag payloads included)
+	CTasksSubmitted                // tasks injected via Submit (external row)
+	CEdgesExamined                 // edges touched while processing
+	CBagsCreated                   // bags partitioned out of child batches
+	CBagsOpened                    // bag payloads unpacked for execution
+	COverflowSpills                // full-ring spills landing at this worker
+	CIdleParks                     // parks on a quiescent fleet
+	CDriftReports                  // Algorithm 3 priority reports sent
+	CTDFSteps                      // Algorithm 2 controller updates applied
+
+	numCounters
+)
+
+var counterNames = [numCounters]string{
+	"tasks_processed", "tasks_submitted", "edges_examined", "bags_created",
+	"bags_opened", "overflow_spills", "idle_parks", "drift_reports",
+	"tdf_steps",
+}
+
+// String returns the counter's snake_case export name.
+func (c Counter) String() string {
+	if int(c) < len(counterNames) {
+		return counterNames[c]
+	}
+	return "unknown"
+}
+
+// EventKind tags one trace event.
+type EventKind uint8
+
+// The event vocabulary of the runtime's layers.
+const (
+	EvTask        EventKind = iota // sampled task retirement: A=prio, B=worker total
+	EvSubmit                       // external injection: A=task count
+	EvBagCreated                   // A=bag prio, B=payload size
+	EvBagOpened                    // A=payload size
+	EvSpill                        // ring-full overflow spill: A=tasks spilled
+	EvPark                         // worker parked on a quiescent fleet
+	EvWake                         // worker woke from a park
+	EvDriftReport                  // Algorithm 3 report: A=reported prio
+	EvTDFStep                      // Algorithm 2 update: A=new TDF, B=drift bits, C=ref prio
+
+	numEventKinds
+)
+
+var eventNames = [numEventKinds]string{
+	"task", "submit", "bag-created", "bag-opened", "spill", "park", "wake",
+	"drift-report", "tdf-step",
+}
+
+// String returns the kind's export name.
+func (k EventKind) String() string {
+	if int(k) < len(eventNames) {
+		return eventNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one trace entry. A, B, C are kind-specific payloads (see the
+// EventKind constants); TS is nanoseconds since the recorder was created.
+type Event struct {
+	TS      int64
+	Worker  int32 // worker index, or External
+	Kind    EventKind
+	A, B, C int64
+}
+
+// External is the worker index recorded for events and counters that
+// originate outside the fleet (Engine.Submit, injected work).
+const External = -1
+
+// Config sizes a Recorder.
+type Config struct {
+	// Workers is the fleet size the recorder serves. Out-of-range worker
+	// indices (including External) fold into one extra shared row, so a
+	// recorder never rejects a write.
+	Workers int
+	// RingSize is the per-worker event-trace capacity; the ring overwrites
+	// its oldest entries and is allocated lazily on a row's first event.
+	// 0 defaults to 1024.
+	RingSize int
+	// SampleEvery records every Nth task-retirement event per worker and
+	// refreshes the CEdgesExamined counter on the same boundaries (the
+	// CTasksProcessed counter is exact at every task; edges lag by at most
+	// one sample stride until the worker next parks). 0 defaults to 64;
+	// values are rounded up to a power of two. Negative disables task
+	// events entirely.
+	SampleEvery int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.RingSize <= 0 {
+		c.RingSize = 1024
+	}
+	if c.SampleEvery == 0 {
+		c.SampleEvery = 64
+	}
+	if c.SampleEvery > 0 {
+		p := 1
+		for p < c.SampleEvery {
+			p <<= 1
+		}
+		c.SampleEvery = p
+	}
+	return c
+}
+
+// row is one worker's slice of the recorder: a padded block of counter
+// atomics plus the event ring. Workers write only their own row, so the
+// atomics are uncontended; the pad keeps adjacent rows off one cache line.
+type row struct {
+	c [numCounters]atomic.Int64
+	_ [8]int64
+
+	mu   sync.Mutex
+	buf  []Event
+	next uint64 // total events appended (ring head = next % len(buf))
+}
+
+// Recorder collects metrics and traces for one engine. All methods are safe
+// for concurrent use; a nil *Recorder must be guarded by the caller (the
+// engine's one-branch contract).
+type Recorder struct {
+	cfg        Config
+	sampleMask int64 // SampleEvery-1 when sampling, -1 when disabled
+	start      time.Time
+	rows       []row // cfg.Workers rows + one shared external row
+}
+
+// New builds a recorder for cfg.Workers workers.
+func New(cfg Config) *Recorder {
+	cfg = cfg.withDefaults()
+	r := &Recorder{
+		cfg:   cfg,
+		start: time.Now(),
+		rows:  make([]row, cfg.Workers+1),
+	}
+	if cfg.SampleEvery > 0 {
+		r.sampleMask = int64(cfg.SampleEvery) - 1
+	} else {
+		r.sampleMask = -1
+	}
+	// Event rings are allocated lazily on each row's first event, so a
+	// recorder costs a few cache lines until something actually traces.
+	return r
+}
+
+// Workers returns the fleet size the recorder was built for.
+func (r *Recorder) Workers() int { return r.cfg.Workers }
+
+// Start returns the recorder's creation time (the trace's TS zero point).
+func (r *Recorder) Start() time.Time { return r.start }
+
+// row maps a worker index to its row, folding External and out-of-range
+// indices into the shared last row.
+func (r *Recorder) row(worker int) *row {
+	if worker >= 0 && worker < r.cfg.Workers {
+		return &r.rows[worker]
+	}
+	return &r.rows[r.cfg.Workers]
+}
+
+// Add increments worker's counter by delta (lock-free).
+func (r *Recorder) Add(worker int, c Counter, delta int64) {
+	r.row(worker).c[c].Add(delta)
+}
+
+// Store sets worker's counter to an absolute value (lock-free). The engine
+// uses it to mirror run-local totals so quiescent reads are exact.
+func (r *Recorder) Store(worker int, c Counter, v int64) {
+	r.row(worker).c[c].Store(v)
+}
+
+// Value reads one worker's counter.
+func (r *Recorder) Value(worker int, c Counter) int64 {
+	return r.row(worker).c[c].Load()
+}
+
+// Total sums a counter across all rows (workers + external).
+func (r *Recorder) Total(c Counter) int64 {
+	var sum int64
+	for i := range r.rows {
+		sum += r.rows[i].c[c].Load()
+	}
+	return sum
+}
+
+// CounterRow is one row of a counter snapshot.
+type CounterRow struct {
+	Worker int // worker index, or External for the shared row
+	Values [int(numCounters)]int64
+}
+
+// Counters snapshots every row's counters. The rows are internally
+// consistent per counter (atomic loads) but not across counters.
+func (r *Recorder) Counters() []CounterRow {
+	out := make([]CounterRow, len(r.rows))
+	for i := range r.rows {
+		w := i
+		if i == r.cfg.Workers {
+			w = External
+		}
+		out[i].Worker = w
+		for c := Counter(0); c < numCounters; c++ {
+			out[i].Values[c] = r.rows[i].c[c].Load()
+		}
+	}
+	return out
+}
+
+// Event appends one trace entry to worker's ring.
+func (r *Recorder) Event(worker int, k EventKind, a, b, c int64) {
+	ev := Event{
+		TS:     time.Since(r.start).Nanoseconds(),
+		Worker: int32(worker),
+		Kind:   k,
+		A:      a,
+		B:      b,
+		C:      c,
+	}
+	rw := r.row(worker)
+	rw.mu.Lock()
+	if rw.buf == nil {
+		rw.buf = make([]Event, r.cfg.RingSize)
+	}
+	rw.buf[rw.next%uint64(len(rw.buf))] = ev
+	rw.next++
+	rw.mu.Unlock()
+}
+
+// TaskProcessed is the engine's per-task recording site. The processed
+// total is mirrored into the counter row on every call (one uncontended
+// atomic store — the whole per-task cost when nothing samples); the edge
+// total and a task event are recorded only on sample boundaries, so
+// CEdgesExamined lags by at most one sample stride until the worker next
+// parks (the engine flushes it there). processed is the worker's task
+// total after this task, edges its running edge total.
+func (r *Recorder) TaskProcessed(worker int, prio, processed, edges int64) {
+	rw := r.row(worker)
+	rw.c[CTasksProcessed].Store(processed)
+	if m := r.sampleMask; m >= 0 && processed&m == 0 {
+		r.TaskSample(worker, prio, processed, edges)
+	}
+}
+
+// TaskSample records one sampled task retirement: it refreshes the edge
+// counter and appends a task event. Writers that own their counter slots
+// directly (see CounterSlot) call this on sample boundaries only — the
+// SampleMask tells them which — instead of going through TaskProcessed.
+func (r *Recorder) TaskSample(worker int, prio, processed, edges int64) {
+	r.row(worker).c[CEdgesExamined].Store(edges)
+	r.Event(worker, EvTask, prio, processed, edges)
+}
+
+// SampleMask returns the task-sampling bitmask: sample when
+// processed&mask == 0. A negative mask means task events are disabled.
+func (r *Recorder) SampleMask() int64 { return r.sampleMask }
+
+// CounterSlot exposes one counter's backing atomic so a single-writer
+// owner (the engine's worker loop) can publish straight into the
+// recorder's row — its own mirror and the recorder's then share one slot,
+// making an attached recorder cost no additional per-task atomics. The
+// caller must be the slot's only writer.
+func (r *Recorder) CounterSlot(worker int, c Counter) *atomic.Int64 {
+	return &r.row(worker).c[c]
+}
+
+// EventCount returns how many events have ever been appended (including
+// entries the rings have since overwritten).
+func (r *Recorder) EventCount() uint64 {
+	var n uint64
+	for i := range r.rows {
+		rw := &r.rows[i]
+		rw.mu.Lock()
+		n += rw.next
+		rw.mu.Unlock()
+	}
+	return n
+}
+
+// Events returns every retained trace entry, merged across workers and
+// sorted by timestamp.
+func (r *Recorder) Events() []Event {
+	var out []Event
+	for i := range r.rows {
+		rw := &r.rows[i]
+		rw.mu.Lock()
+		n := rw.next
+		cap64 := uint64(len(rw.buf))
+		first := uint64(0)
+		if n > cap64 {
+			first = n - cap64
+		}
+		for s := first; s < n; s++ {
+			out = append(out, rw.buf[s%cap64])
+		}
+		rw.mu.Unlock()
+	}
+	// Rings are individually time-ordered; SliceStable keeps a worker's
+	// append order on timestamp ties.
+	sort.SliceStable(out, func(a, b int) bool { return out[a].TS < out[b].TS })
+	return out
+}
+
+// ControlPoint is one interval of the control plane's time series: the
+// measured drift (Eq. 1), the reference priority it was computed against,
+// and the TDF the controller chose for the next interval.
+type ControlPoint struct {
+	Interval int     `json:"interval"`
+	Drift    float64 `json:"drift"`
+	Ref      int64   `json:"ref"`
+	TDF      int     `json:"tdf"`
+}
+
+// ControlSeries zips parallel drift/ref/TDF traces (the shape stats.Run and
+// runtime.Result carry) into control points. Shorter slices are ragged-safe:
+// missing values stay zero.
+func ControlSeries(drift []float64, ref []int64, tdf []int) []ControlPoint {
+	n := len(drift)
+	if len(tdf) > n {
+		n = len(tdf)
+	}
+	if len(ref) > n {
+		n = len(ref)
+	}
+	pts := make([]ControlPoint, n)
+	for i := range pts {
+		pts[i].Interval = i
+		if i < len(drift) {
+			pts[i].Drift = drift[i]
+		}
+		if i < len(ref) {
+			pts[i].Ref = ref[i]
+		}
+		if i < len(tdf) {
+			pts[i].TDF = tdf[i]
+		}
+	}
+	return pts
+}

@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCountersAddStoreTotal(t *testing.T) {
+	r := New(Config{Workers: 3})
+	r.Add(0, CBagsCreated, 2)
+	r.Add(1, CBagsCreated, 3)
+	r.Store(2, CTasksProcessed, 41)
+	r.Store(2, CTasksProcessed, 42) // Store is absolute, not cumulative
+	r.Add(External, CTasksSubmitted, 7)
+
+	if got := r.Total(CBagsCreated); got != 5 {
+		t.Errorf("Total(bags) = %d, want 5", got)
+	}
+	if got := r.Value(2, CTasksProcessed); got != 42 {
+		t.Errorf("Value(2, processed) = %d, want 42", got)
+	}
+	if got := r.Total(CTasksSubmitted); got != 7 {
+		t.Errorf("Total(submitted) = %d, want 7", got)
+	}
+	rows := r.Counters()
+	if len(rows) != 4 { // 3 workers + external
+		t.Fatalf("Counters() returned %d rows, want 4", len(rows))
+	}
+	if rows[3].Worker != External || rows[3].Values[CTasksSubmitted] != 7 {
+		t.Errorf("external row = %+v", rows[3])
+	}
+}
+
+// Out-of-range worker indices must fold into the shared row, never panic.
+func TestOutOfRangeWorkerFolds(t *testing.T) {
+	r := New(Config{Workers: 2})
+	r.Add(99, CIdleParks, 1)
+	r.Add(-5, CIdleParks, 1)
+	r.Event(99, EvPark, 0, 0, 0)
+	if got := r.Total(CIdleParks); got != 2 {
+		t.Errorf("Total(parks) = %d, want 2", got)
+	}
+}
+
+func TestEventRingOverwritesOldest(t *testing.T) {
+	r := New(Config{Workers: 1, RingSize: 8})
+	for i := int64(0); i < 20; i++ {
+		r.Event(0, EvSubmit, i, 0, 0)
+	}
+	if got := r.EventCount(); got != 20 {
+		t.Errorf("EventCount = %d, want 20", got)
+	}
+	evs := r.Events()
+	if len(evs) != 8 {
+		t.Fatalf("retained %d events, want ring size 8", len(evs))
+	}
+	// The ring keeps the newest entries: A values 12..19.
+	for i, ev := range evs {
+		if want := int64(12 + i); ev.A != want {
+			t.Errorf("event %d: A = %d, want %d", i, ev.A, want)
+		}
+	}
+}
+
+func TestEventsMergedSorted(t *testing.T) {
+	r := New(Config{Workers: 4})
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 5; j++ {
+			r.Event(i, EvDriftReport, int64(j), 0, 0)
+		}
+	}
+	evs := r.Events()
+	if len(evs) != 20 {
+		t.Fatalf("got %d events, want 20", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].TS < evs[i-1].TS {
+			t.Fatalf("events out of order at %d: %d < %d", i, evs[i].TS, evs[i-1].TS)
+		}
+	}
+}
+
+func TestTaskProcessedSampling(t *testing.T) {
+	r := New(Config{Workers: 1, SampleEvery: 4})
+	for i := int64(1); i <= 64; i++ {
+		r.TaskProcessed(0, 100-i, i, i*3)
+	}
+	if got := r.Value(0, CTasksProcessed); got != 64 {
+		t.Errorf("processed = %d, want 64 (Store semantics)", got)
+	}
+	if got := r.Value(0, CEdgesExamined); got != 192 {
+		t.Errorf("edges = %d, want 192", got)
+	}
+	evs := r.Events()
+	if len(evs) != 16 { // every 4th of 64
+		t.Errorf("sampled %d task events, want 16", len(evs))
+	}
+	// Negative SampleEvery disables task events but keeps counters exact.
+	r2 := New(Config{Workers: 1, SampleEvery: -1})
+	for i := int64(1); i <= 64; i++ {
+		r2.TaskProcessed(0, 0, i, 0)
+	}
+	if got := len(r2.Events()); got != 0 {
+		t.Errorf("disabled sampling still recorded %d events", got)
+	}
+	if got := r2.Value(0, CTasksProcessed); got != 64 {
+		t.Errorf("disabled sampling lost counters: %d", got)
+	}
+}
+
+func TestSampleEveryRoundsToPow2(t *testing.T) {
+	r := New(Config{Workers: 1, SampleEvery: 100})
+	if r.cfg.SampleEvery != 128 {
+		t.Errorf("SampleEvery 100 rounded to %d, want 128", r.cfg.SampleEvery)
+	}
+}
+
+// Concurrent writers across counters and rings must be race-clean (run
+// under -race in the race tier).
+func TestConcurrentWriters(t *testing.T) {
+	r := New(Config{Workers: 4, RingSize: 64})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := int64(0); i < 500; i++ {
+				r.Add(w%4, CBagsCreated, 1)
+				r.Event(w%4, EvBagCreated, i, 2, 0)
+				if i%50 == 0 {
+					_ = r.Events()
+					_ = r.Counters()
+					_ = r.Total(CBagsCreated)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Total(CBagsCreated); got != 8*500 {
+		t.Errorf("Total = %d, want %d", got, 8*500)
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	r := New(Config{Workers: 2, SampleEvery: 1})
+	r.TaskProcessed(0, 9, 1, 4)
+	r.Add(1, COverflowSpills, 1)
+	r.Event(1, EvSpill, 3, 0, 0)
+	r.Event(0, EvTDFStep, 60, int64(floatBits(12.5)), 7)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// 1 meta + 3 counter rows (2 workers + external) + 3 events.
+	if len(lines) != 7 {
+		t.Fatalf("got %d JSONL lines, want 7:\n%s", len(lines), buf.String())
+	}
+	var meta map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &meta); err != nil {
+		t.Fatalf("meta line: %v", err)
+	}
+	if meta["schema"] != TraceSchema || meta["type"] != "meta" {
+		t.Errorf("meta = %v", meta)
+	}
+	for _, line := range lines[1:] {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", line, err)
+		}
+		if m["type"] != "counters" && m["type"] != "event" {
+			t.Errorf("unexpected line type %v", m["type"])
+		}
+	}
+	if !strings.Contains(buf.String(), `"kind":"tdf-step"`) {
+		t.Error("tdf-step event missing from trace")
+	}
+	if !strings.Contains(buf.String(), `"drift":12.5`) {
+		t.Error("tdf-step drift not decoded to float")
+	}
+}
+
+func TestWriteControlJSONL(t *testing.T) {
+	pts := ControlSeries([]float64{1.5, 2.5}, []int64{10, 11}, []int{50, 60})
+	var buf bytes.Buffer
+	if err := WriteControlJSONL(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d control lines, want 2", len(lines))
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["type"] != "control" || m["tdf"] != float64(60) || m["ref"] != float64(11) {
+		t.Errorf("control line = %v", m)
+	}
+}
+
+func TestControlSeriesRagged(t *testing.T) {
+	pts := ControlSeries([]float64{1}, nil, []int{50, 60, 70})
+	if len(pts) != 3 {
+		t.Fatalf("len = %d, want 3 (longest input)", len(pts))
+	}
+	if pts[0].Drift != 1 || pts[2].TDF != 70 || pts[2].Drift != 0 {
+		t.Errorf("pts = %+v", pts)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := New(Config{Workers: 1})
+	r.Add(0, CIdleParks, 3)
+	r.Event(0, EvPark, 0, 0, 0)
+
+	rr := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/obs", nil))
+	var snap map[string]any
+	if err := json.Unmarshal(rr.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot not JSON: %v", err)
+	}
+	totals := snap["totals"].(map[string]any)
+	if totals["idle_parks"] != float64(3) {
+		t.Errorf("totals = %v", totals)
+	}
+
+	rr = httptest.NewRecorder()
+	r.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/obs?trace=1", nil))
+	if !strings.Contains(rr.Body.String(), `"type":"meta"`) {
+		t.Error("?trace=1 did not stream JSONL")
+	}
+}
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }

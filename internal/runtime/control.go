@@ -8,10 +8,12 @@ package runtime
 // policy state, which is why it gets its own file and tests.
 
 import (
+	"math"
 	"sync"
 	"sync/atomic"
 
 	"hdcps/internal/drift"
+	"hdcps/internal/obs"
 )
 
 // neverReported is the sentinel a worker's report slot holds before its
@@ -25,6 +27,7 @@ const neverReported = int64(1) << 62
 // controlPlane owns drift reporting and TDF propagation for one engine.
 type controlPlane struct {
 	useTDF bool
+	rec    *obs.Recorder // nil when observability is disabled
 
 	// reports holds each worker's latest priority (atomic access), seeded
 	// with neverReported.
@@ -46,6 +49,7 @@ type controlPlane struct {
 func newControlPlane(cfg Config) *controlPlane {
 	cp := &controlPlane{
 		useTDF:  cfg.UseTDF,
+		rec:     cfg.Obs,
 		reports: make([]int64, cfg.Workers),
 		ctrl:    drift.NewController(cfg.Drift),
 	}
@@ -80,6 +84,10 @@ func (cp *controlPlane) SampleInterval() int64 {
 // zeros.
 func (cp *controlPlane) Report(id int, prio int64) {
 	atomic.StoreInt64(&cp.reports[id], prio)
+	if rec := cp.rec; rec != nil {
+		rec.Add(id, obs.CDriftReports, 1)
+		rec.Event(id, obs.EvDriftReport, prio, 0, 0)
+	}
 	if cp.reportCount.Add(1) < int64(len(cp.reports)) {
 		return
 	}
@@ -96,10 +104,16 @@ func (cp *controlPlane) Report(id int, prio int64) {
 	if len(snapshot) == 0 {
 		return
 	}
+	ref := drift.MinReference(snapshot)
+	pd := drift.Drift(snapshot, ref)
 	cp.mu.Lock()
-	tdf := cp.ctrl.Update(snapshot)
+	tdf := cp.ctrl.UpdateWithRef(pd, ref)
 	cp.mu.Unlock()
 	cp.tdf.Store(int64(tdf))
+	if rec := cp.rec; rec != nil {
+		rec.Add(id, obs.CTDFSteps, 1)
+		rec.Event(id, obs.EvTDFStep, int64(tdf), int64(math.Float64bits(pd)), ref)
+	}
 }
 
 // History returns the controller's per-interval drift/TDF records. Safe to
@@ -108,4 +122,17 @@ func (cp *controlPlane) History() []drift.Record {
 	cp.mu.Lock()
 	defer cp.mu.Unlock()
 	return cp.ctrl.History()
+}
+
+// Series returns the control plane's time series — per-interval drift,
+// reference priority, and TDF — the view that replaces eyeballing a
+// point-in-time snapshot when studying the feedback loop. Safe to call
+// while workers are still reporting.
+func (cp *controlPlane) Series() []obs.ControlPoint {
+	hist := cp.History()
+	pts := make([]obs.ControlPoint, len(hist))
+	for i, rec := range hist {
+		pts[i] = obs.ControlPoint{Interval: i, Drift: rec.Drift, Ref: rec.Ref, TDF: rec.TDF}
+	}
+	return pts
 }

@@ -25,13 +25,17 @@ package runtime
 import (
 	"context"
 	"errors"
+	"io"
 	stdruntime "runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"hdcps/internal/bag"
 	"hdcps/internal/graph"
+	"hdcps/internal/obs"
 	"hdcps/internal/task"
 	"hdcps/internal/workload"
 )
@@ -65,6 +69,13 @@ type Engine struct {
 	rt      *ringTransport
 	control *controlPlane
 	workers []worker
+	// obs is the optional observability recorder (Config.Obs). Every
+	// recording site is guarded by one nil check, so a disabled engine pays
+	// a single predictable branch and allocates nothing.
+	obs *obs.Recorder
+	// obsMask caches obs.SampleMask() (-1 when obs is nil or task events
+	// are disabled) so the per-task sampling test is one load and branch.
+	obsMask int64
 
 	sampleInterval int64
 
@@ -115,10 +126,16 @@ type worker struct {
 	sinceReport int64
 	sinceFlush  int
 
-	pubProcessed atomic.Int64
-	pubBags      atomic.Int64
-	pubEdges     atomic.Int64
-	pubIdleParks atomic.Int64
+	// The pub* pointers are the atomic shadows the loop publishes into:
+	// the worker's own pubLocal slots normally, or the attached recorder's
+	// counter row when observability is on. Sharing the slot means an
+	// enabled recorder costs the per-task path no atomics beyond the ones
+	// the engine already pays.
+	pubProcessed *atomic.Int64
+	pubBags      *atomic.Int64
+	pubEdges     *atomic.Int64
+	pubIdleParks *atomic.Int64
+	pubLocal     [4]atomic.Int64
 
 	_pad [4]int64 // reduce false sharing between workers
 }
@@ -141,6 +158,7 @@ func NewEngine(w workload.Workload, cfg Config) *Engine {
 		w:       w,
 		workers: make([]worker, cfg.Workers),
 		control: newControlPlane(cfg),
+		obs:     cfg.Obs,
 		quiet:   make(chan struct{}, 1),
 		done:    make(chan struct{}),
 	}
@@ -149,7 +167,7 @@ func NewEngine(w workload.Workload, cfg Config) *Engine {
 	if cfg.NewTransport != nil {
 		e.transport = cfg.NewTransport(cfg)
 	} else {
-		e.transport = newRingTransport(cfg.Workers, cfg.RingSize, cfg.BatchSize)
+		e.transport = newRingTransport(cfg.Workers, cfg.RingSize, cfg.BatchSize, cfg.Obs)
 	}
 	e.rt, _ = e.transport.(*ringTransport)
 	for i := range e.workers {
@@ -164,6 +182,25 @@ func NewEngine(w workload.Workload, cfg Config) *Engine {
 		me.newBagID = func() uint64 {
 			return uint64(me.id)<<32 | uint64(me.store.alloc().idx)
 		}
+		if rec := cfg.Obs; rec != nil {
+			// Publish straight into the recorder's row: the worker remains
+			// the slot's only writer, and the recorder's view of these
+			// counters is exactly the engine's.
+			me.pubProcessed = rec.CounterSlot(i, obs.CTasksProcessed)
+			me.pubBags = rec.CounterSlot(i, obs.CBagsCreated)
+			me.pubEdges = rec.CounterSlot(i, obs.CEdgesExamined)
+			me.pubIdleParks = rec.CounterSlot(i, obs.CIdleParks)
+		} else {
+			me.pubProcessed = &me.pubLocal[0]
+			me.pubBags = &me.pubLocal[1]
+			me.pubEdges = &me.pubLocal[2]
+			me.pubIdleParks = &me.pubLocal[3]
+		}
+	}
+	if cfg.Obs != nil {
+		e.obsMask = cfg.Obs.SampleMask()
+	} else {
+		e.obsMask = -1
 	}
 	return e
 }
@@ -185,7 +222,11 @@ func (e *Engine) Start() error {
 		e.wg.Add(1)
 		go func(id int) {
 			defer e.wg.Done()
-			e.runWorker(id)
+			// Label the goroutine so CPU/goroutine profiles attribute samples
+			// per worker (pprof labels cost nothing off the profiling path).
+			pprof.Do(context.Background(),
+				pprof.Labels("hdcps_worker", strconv.Itoa(id)),
+				func(context.Context) { e.runWorker(id) })
 		}(i)
 	}
 	go func() {
@@ -214,6 +255,10 @@ func (e *Engine) Submit(ts ...task.Task) error {
 	// The count lands before any task is published, preserving the
 	// outstanding-never-falsely-zero invariant.
 	e.outstanding.Add(int64(len(ts)))
+	if rec := e.obs; rec != nil {
+		rec.Add(obs.External, obs.CTasksSubmitted, int64(len(ts)))
+		rec.Event(obs.External, obs.EvSubmit, int64(len(ts)), 0, 0)
+	}
 	if n := len(e.workers); n == 1 {
 		e.transport.Inject(0, ts)
 	} else {
@@ -246,6 +291,10 @@ func (e *Engine) submitIdle(ts []task.Task) bool {
 		return false
 	}
 	e.outstanding.Add(int64(len(ts)))
+	if rec := e.obs; rec != nil {
+		rec.Add(obs.External, obs.CTasksSubmitted, int64(len(ts)))
+		rec.Event(obs.External, obs.EvSubmit, int64(len(ts)), 0, 0)
+	}
 	n := len(e.workers)
 	for i, t := range ts {
 		e.workers[i%n].queue.Push(t)
@@ -327,12 +376,20 @@ func (e *Engine) wakeAll() {
 // reports whether the worker should keep running.
 func (e *Engine) park(me *worker) bool {
 	me.idleParks++
+	// publish() flushes every shared counter slot (parks, edges, bags), so
+	// the recorder is fully caught up whenever the worker idles.
 	me.publish()
+	if rec := e.obs; rec != nil {
+		rec.Event(me.id, obs.EvPark, 0, 0, 0)
+	}
 	e.mu.Lock()
 	for e.outstanding.Load() == 0 && !e.stop.Load() {
 		e.cond.Wait()
 	}
 	e.mu.Unlock()
+	if rec := e.obs; rec != nil {
+		rec.Event(me.id, obs.EvWake, 0, 0, 0)
+	}
 	return !e.stop.Load()
 }
 
@@ -413,6 +470,10 @@ func (e *Engine) runWorker(id int) {
 				idle = 0
 				continue
 			}
+			// Publish on the idle path so a worker waiting out another
+			// worker's tail never holds counters stale for long (the hot
+			// loop only republishes at flush boundaries).
+			me.publish()
 			// Adaptive backoff: re-poll hot for a moment (work often lands
 			// within a few hundred ns), then yield the P so the workers
 			// holding tasks can run, then park briefly so an idle worker
@@ -433,6 +494,10 @@ func (e *Engine) runWorker(id int) {
 			owner, idx := int(t.Data>>32), uint32(t.Data)
 			st := &e.workers[owner].store
 			s := st.get(idx)
+			if rec := e.obs; rec != nil {
+				rec.Add(id, obs.CBagsOpened, 1)
+				rec.Event(id, obs.EvBagOpened, int64(len(s.tasks)), 0, 0)
+			}
 			for _, bt := range s.tasks {
 				e.processOne(id, me, bt)
 			}
@@ -455,6 +520,16 @@ func (e *Engine) processOne(id int, me *worker, t task.Task) {
 	me.children = me.children[:0]
 	me.edges += int64(e.w.Process(t, me.emit))
 	me.processed++
+	// Publish the processed total BEFORE this task can leave `outstanding`
+	// (the account calls below): any reader that sees the retirement also
+	// sees the count, which is the ordering Snapshot's coherence contract
+	// relies on. An uncontended atomic store on the worker's own line.
+	me.pubProcessed.Store(me.processed)
+	// With a recorder attached pubProcessed IS the recorder's counter slot,
+	// so only the sampled trace path remains to record here.
+	if m := e.obsMask; m >= 0 && me.processed&m == 0 {
+		e.obs.TaskSample(id, t.Prio, me.processed, me.edges)
+	}
 
 	// Account all new work and retire this task in one shared atomic; the
 	// increment lands before any child becomes visible, so outstanding can
@@ -466,6 +541,11 @@ func (e *Engine) processOne(id int, me *worker, t task.Task) {
 			me.bags++
 			s := me.store.get(uint32(b.ID))
 			s.tasks = append(s.tasks[:0], b.Tasks...)
+			if rec := e.obs; rec != nil {
+				// The bags counter flows through the shared pubBags slot at
+				// publish points; only the trace event is recorded here.
+				rec.Event(id, obs.EvBagCreated, b.Prio, int64(len(b.Tasks)), 0)
+			}
 			e.dispatch(id, me, task.Task{Node: bagMarker, Prio: b.Prio, Data: b.ID})
 		}
 		for _, c := range singles {
@@ -520,8 +600,19 @@ type WorkerStats struct {
 }
 
 // Snapshot is a cheap point-in-time view of a running engine: per-worker
-// counters (published at flush/park boundaries, so each lags by at most one
-// flush interval) plus the live control-plane state.
+// counters plus the live control-plane state.
+//
+// Coherence contract: TasksProcessed is published before a task's
+// retirement can be observed in Outstanding, and Snapshot reads Outstanding
+// before the counters, so for any snapshot
+//
+//	TasksProcessed + Outstanding >= tasks submitted before the call
+//
+// and once Drain has returned (Outstanding == 0 with no concurrent Submit),
+// TasksProcessed is exact — a mid-drain snapshot can no longer under-count
+// retired work. The remaining counters (Bags, EdgesExamined, spills, parks)
+// are published at flush/park/idle boundaries and may lag by at most one
+// flush interval.
 type Snapshot struct {
 	Epoch       uint64 // Submit calls so far
 	Outstanding int64  // tasks submitted or spawned but not yet retired
@@ -537,6 +628,12 @@ type Snapshot struct {
 // Snapshot reads the engine's counters without disturbing the workers.
 // Safe from any goroutine at any lifecycle stage.
 func (e *Engine) Snapshot() Snapshot {
+	// Read order matters for the coherence contract: Outstanding first,
+	// then the per-worker processed counters. A task retiring between the
+	// two reads inflates TasksProcessed, never loses the task — each
+	// worker stores its processed total before decrementing outstanding,
+	// and sync/atomic's total order makes that store visible to any reader
+	// that observed the decrement.
 	s := Snapshot{
 		Epoch:       e.epoch.Load(),
 		Outstanding: e.outstanding.Load(),
@@ -580,7 +677,33 @@ func (e *Engine) Result() Result {
 	}
 	for _, rec := range e.control.History() {
 		res.DriftTrace = append(res.DriftTrace, rec.Drift)
+		res.RefTrace = append(res.RefTrace, rec.Ref)
 		res.TDFTrace = append(res.TDFTrace, rec.TDF)
 	}
 	return res
+}
+
+// Obs returns the engine's observability recorder (nil when Config.Obs was
+// unset).
+func (e *Engine) Obs() *obs.Recorder { return e.obs }
+
+// ControlTrace returns the control plane's time series so far: one point
+// per controller interval with the measured drift, the reference priority,
+// and the TDF chosen for the next interval. Safe to call while the fleet
+// runs; this is the time-series replacement for reading Snapshot.TDF in a
+// loop.
+func (e *Engine) ControlTrace() []obs.ControlPoint { return e.control.Series() }
+
+// WriteTrace streams the engine's full observability state as JSONL
+// (schema obs.TraceSchema): recorder meta, per-worker counters, the
+// retained event trace, and the control plane's drift/ref/TDF time series.
+// Requires Config.Obs; without a recorder only the control series is
+// written.
+func (e *Engine) WriteTrace(w io.Writer) error {
+	if e.obs != nil {
+		if err := e.obs.WriteJSONL(w); err != nil {
+			return err
+		}
+	}
+	return obs.WriteControlJSONL(w, e.control.Series())
 }

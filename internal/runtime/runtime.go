@@ -33,6 +33,7 @@ import (
 
 	"hdcps/internal/bag"
 	"hdcps/internal/drift"
+	"hdcps/internal/obs"
 	"hdcps/internal/stats"
 	"hdcps/internal/workload"
 )
@@ -63,6 +64,14 @@ type Config struct {
 	// NewTransport, when non-nil, replaces the ring fabric with a custom
 	// transport layer. It receives the fully defaulted Config.
 	NewTransport func(Config) Transport
+
+	// Obs, when non-nil, enables the observability layer: per-worker
+	// counters, sampled event traces, and spill/park/control events are
+	// recorded into it by every runtime layer. A nil recorder costs the hot
+	// path one predictable branch per recording site. Size it for at least
+	// this engine's Workers (obs.New(obs.Config{Workers: n})); writes from
+	// out-of-range worker indices fold into the recorder's shared row.
+	Obs *obs.Recorder
 
 	// BatchSize is the per-destination dispatch buffer: remote children
 	// accumulate until BatchSize are ready, then ship with a single
@@ -119,13 +128,16 @@ func DefaultConfig(workers int) Config {
 	}
 }
 
-// Result reports a native run's metrics.
+// Result reports a native run's metrics. DriftTrace, RefTrace, and TDFTrace
+// are index-aligned per controller interval (the control plane's time
+// series; obs.ControlSeries zips them into points).
 type Result struct {
 	Elapsed        time.Duration
 	TasksProcessed int64
 	BagsCreated    int64
 	EdgesExamined  int64
 	DriftTrace     []float64
+	RefTrace       []int64
 	TDFTrace       []int
 }
 
@@ -165,6 +177,7 @@ func RunAsStats(w workload.Workload, cfg Config) stats.Run {
 		BagsCreated:    res.BagsCreated,
 		EdgesExamined:  res.EdgesExamined,
 		DriftTrace:     res.DriftTrace,
+		RefTrace:       res.RefTrace,
 		TDFTrace:       res.TDFTrace,
 	}
 }

@@ -15,6 +15,7 @@ package runtime
 import (
 	"sync/atomic"
 
+	"hdcps/internal/obs"
 	"hdcps/internal/rq"
 	"hdcps/internal/task"
 )
@@ -47,6 +48,7 @@ type Transport interface {
 // per-destination batching.
 type ringTransport struct {
 	batch int
+	rec   *obs.Recorder // nil when observability is disabled
 	eps   []endpoint
 }
 
@@ -67,9 +69,10 @@ type endpoint struct {
 }
 
 // newRingTransport builds the fabric for `workers` endpoints with rings of
-// ringSize slots and per-destination batches of `batch` tasks.
-func newRingTransport(workers, ringSize, batch int) *ringTransport {
-	tr := &ringTransport{batch: batch, eps: make([]endpoint, workers)}
+// ringSize slots and per-destination batches of `batch` tasks. A non-nil
+// rec records overflow-spill events at the destination endpoint.
+func newRingTransport(workers, ringSize, batch int, rec *obs.Recorder) *ringTransport {
+	tr := &ringTransport{batch: batch, rec: rec, eps: make([]endpoint, workers)}
 	for i := range tr.eps {
 		ep := &tr.eps[i]
 		ep.ring = rq.NewRing(ringSize)
@@ -132,6 +135,10 @@ func (tr *ringTransport) deliver(dst int, ts []task.Task) {
 		// the tasks because the caller's buffer is reused.
 		w.overflow.push(&overflowNode{tasks: append([]task.Task(nil), rest...)})
 		w.spills.Add(1)
+		if rec := tr.rec; rec != nil {
+			rec.Add(dst, obs.COverflowSpills, 1)
+			rec.Event(dst, obs.EvSpill, int64(len(rest)), 0, 0)
+		}
 	}
 }
 

@@ -82,6 +82,7 @@ type Run struct {
 	Aborts         int64 // Swarm only: rolled-back tasks
 
 	DriftTrace []float64 // per-interval priority drift (Eq. 1)
+	RefTrace   []int64   // per-interval reference priority (Eq. 1's P0; native runtime)
 	TDFTrace   []int     // per-interval TDF (HD-CPS only)
 }
 
