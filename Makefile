@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build tier1 vet lint race bench bench-smoke bench-native ci
+.PHONY: all build tier1 vet lint race chaos bench bench-smoke bench-native ci
 
 all: ci
 
@@ -34,8 +34,18 @@ lint:
 # driver tests: racing the full figure suite is ~10min on one core and
 # exercises no concurrency the driver tests don't.
 race:
-	$(GO) test -race ./internal/rq/... ./internal/runtime/... ./internal/bag/... ./internal/obs/... ./internal/exec/...
+	$(GO) test -race ./internal/rq/... ./internal/runtime/... ./internal/bag/... ./internal/obs/... ./internal/exec/... ./internal/chaos/...
 	$(GO) test -race -run 'TestParallel' -count=1 ./internal/exp/
+
+# Chaos tier: the fault-injection soaks (internal/chaos) under the race
+# detector — every mix (delay, duplication, reorder, ring-full, stall,
+# combined, quarantine) plus the worker-pause-mid-drain regression, each
+# asserting the conservation ledger at every quiescent checkpoint. Seeds are
+# fixed, so a failure reproduces. Set CHAOS_SOAK=1 (the nightly knob) for
+# longer soaks on bigger graphs.
+chaos:
+	$(GO) test -race -count=1 -run 'TestSoak|TestEnginePanic|TestEngineRetry|TestEngineQuarantine|TestEngineDrain|TestEngineOverflow' \
+		./internal/chaos/ ./internal/runtime/
 
 # Hot-path microbenchmarks (ring push/batch, heap arity, partitioner,
 # native runtime throughput with and without the obs recorder). The root
@@ -57,4 +67,4 @@ bench-smoke:
 bench-native:
 	$(GO) run ./cmd/hdcps-bench -native -label $$(git rev-parse --short HEAD) -o BENCH_native.json
 
-ci: tier1 vet lint race
+ci: tier1 vet lint race chaos

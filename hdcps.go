@@ -27,6 +27,7 @@ package hdcps
 import (
 	"io"
 
+	"hdcps/internal/chaos"
 	"hdcps/internal/drift"
 	"hdcps/internal/exec"
 	"hdcps/internal/exp"
@@ -66,6 +67,23 @@ type (
 	Engine = runtime.Engine
 	// EngineSnapshot is a point-in-time view of a running Engine.
 	EngineSnapshot = runtime.Snapshot
+	// RetryPolicy is the per-task fault budget: how many times a panicking
+	// task is retried before quarantine (NativeConfig.Retry; the zero value
+	// quarantines on first panic).
+	RetryPolicy = runtime.RetryPolicy
+	// QuarantinedTask records a task retired after exhausting its retry
+	// budget: the task, its panic value, and the attempt count
+	// (Engine.Quarantined).
+	QuarantinedTask = runtime.QuarantinedTask
+	// StallError is the diagnostic returned when Drain or Stop gives up —
+	// deadline, cancellation, or no ledger progress for
+	// NativeConfig.StallTimeout — carrying the outstanding count and
+	// per-worker state needed to tell a livelock from a slow handler.
+	StallError = runtime.StallError
+	// ChaosConfig is the fault-injection mix for the chaos transport:
+	// per-turn probabilities for delay, duplication, reorder, ring-full
+	// rejection, and worker stalls, under one deterministic seed.
+	ChaosConfig = chaos.Config
 	// Recorder is the native runtime's observability collector: per-worker
 	// lock-free counters plus ring-buffered event traces. Attach one via
 	// NativeConfig.Obs (see NewRecorder); a nil recorder costs the hot path
@@ -159,6 +177,15 @@ func NewEngine(w Workload, cfg NativeConfig) *Engine { return runtime.NewEngine(
 // DefaultNativeConfig returns the paper-tuned native configuration for the
 // given worker count.
 func DefaultNativeConfig(workers int) NativeConfig { return runtime.DefaultConfig(workers) }
+
+// NewChaosEngine builds an Engine whose transport injects faults from the
+// given mix (see ChaosConfig; chaos.DefaultMix gives the stock mix). The
+// returned transport exposes the injected-fault counts. Use it with
+// chaos.Checker to assert the no-task-loss and termination invariants
+// under fault; DESIGN.md §11 documents the failure model.
+func NewChaosEngine(w Workload, cfg NativeConfig, mix ChaosConfig) (*Engine, *chaos.Transport) {
+	return chaos.Engine(w, cfg, mix)
+}
 
 // NewRecorder builds an observability recorder. Set it as
 // NativeConfig.Obs before constructing the engine; read it back during or

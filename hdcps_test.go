@@ -80,6 +80,45 @@ func TestFacadeEngineLifecycle(t *testing.T) {
 	}
 }
 
+func TestFacadeChaosEngine(t *testing.T) {
+	g := Road(16, 16, 5)
+	w, err := NewWorkload("sssp", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultNativeConfig(2)
+	cfg.Seed = 11
+	mix := ChaosConfig{Seed: 11, Delay: 0.1, Reorder: 0.2, RingFull: 0.05}
+	e, tp := NewChaosEngine(w, cfg, mix)
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := e.Submit(w.InitialTasks()...); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	snap := e.Snapshot()
+	if got := snap.Submitted + snap.Spawned -
+		(snap.TasksProcessed + snap.BagsRetired + snap.Quarantined); got != 0 {
+		t.Fatalf("conservation violated under fault injection (lost %d): %+v", got, snap)
+	}
+	if len(e.Quarantined()) != 0 {
+		t.Fatalf("healthy workload quarantined: %v", e.Quarantined())
+	}
+	if tp.Stats().String() == "" {
+		t.Fatal("chaos transport reported no stats")
+	}
+	if err := e.Stop(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestFacadeExecutors(t *testing.T) {
 	for _, n := range ExecutorNames() {
 		if _, err := NewExecutor(n); err != nil {

@@ -1,0 +1,86 @@
+package chaos
+
+import (
+	"fmt"
+
+	"hdcps/internal/runtime"
+)
+
+// Checker asserts the engine's no-task-loss and progress invariants across a
+// sequence of snapshots. Call Live on mid-run snapshots (race-safe subset:
+// monotonicity and a non-negative outstanding count) and Quiescent after
+// every successful Drain, where the conservation ledger must balance
+// exactly:
+//
+//	Submitted + Spawned == TasksProcessed + BagsRetired + Quarantined
+//
+// with Outstanding == 0. The exactness at quiescence is guaranteed by the
+// engine's publication ordering (every ledger term is stored before the
+// outstanding-count transition that makes it observable — see
+// internal/runtime/fault.go); mid-run, both sides can legitimately lead or
+// lag by in-flight work, which is why Live only checks the race-safe
+// subset.
+//
+// A Checker is not safe for concurrent use; drive it from the goroutine
+// orchestrating Submit/Drain rounds.
+type Checker struct {
+	prev runtime.Snapshot
+	have bool
+}
+
+// Live checks the invariants that hold at any instant on a running engine.
+func (c *Checker) Live(s runtime.Snapshot) error {
+	if s.Outstanding < 0 {
+		return fmt.Errorf("chaos: outstanding went negative (%d): double retirement", s.Outstanding)
+	}
+	if err := c.monotone(s); err != nil {
+		return err
+	}
+	c.prev, c.have = s, true
+	return nil
+}
+
+// Quiescent checks the full conservation ledger. Call it only after a
+// successful Drain with no concurrent Submit.
+func (c *Checker) Quiescent(s runtime.Snapshot) error {
+	if s.Outstanding != 0 {
+		return fmt.Errorf("chaos: quiescent snapshot has outstanding %d", s.Outstanding)
+	}
+	if err := c.monotone(s); err != nil {
+		return err
+	}
+	in := s.Submitted + s.Spawned
+	out := s.TasksProcessed + s.BagsRetired + s.Quarantined
+	if in != out {
+		return fmt.Errorf(
+			"chaos: conservation violated: submitted %d + spawned %d = %d != processed %d + bagsRetired %d + quarantined %d = %d (lost %d)",
+			s.Submitted, s.Spawned, in,
+			s.TasksProcessed, s.BagsRetired, s.Quarantined, out, in-out)
+	}
+	c.prev, c.have = s, true
+	return nil
+}
+
+// monotone rejects any counter that moved backwards between checkpoints.
+func (c *Checker) monotone(s runtime.Snapshot) error {
+	if !c.have {
+		return nil
+	}
+	type pair struct {
+		name      string
+		prev, cur int64
+	}
+	for _, p := range []pair{
+		{"submitted", c.prev.Submitted, s.Submitted},
+		{"spawned", c.prev.Spawned, s.Spawned},
+		{"processed", c.prev.TasksProcessed, s.TasksProcessed},
+		{"bagsRetired", c.prev.BagsRetired, s.BagsRetired},
+		{"quarantined", c.prev.Quarantined, s.Quarantined},
+		{"redirects", c.prev.Redirects, s.Redirects},
+	} {
+		if p.cur < p.prev {
+			return fmt.Errorf("chaos: counter %s moved backwards: %d -> %d", p.name, p.prev, p.cur)
+		}
+	}
+	return nil
+}

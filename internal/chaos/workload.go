@@ -1,0 +1,80 @@
+package chaos
+
+import (
+	"fmt"
+	"sync"
+
+	"hdcps/internal/graph"
+	"hdcps/internal/task"
+	"hdcps/internal/workload"
+)
+
+// FaultyConfig selects which tasks a Faulty wrapper poisons and for how
+// long. Selection is by node ID, so the fault set is deterministic and
+// independent of scheduling.
+type FaultyConfig struct {
+	// PanicEvery poisons tasks whose Node is a multiple of this value
+	// (0 disables injection entirely).
+	PanicEvery int
+	// FailAttempts is how many times a poisoned task panics before it
+	// succeeds. Keep it below the engine's Retry.MaxAttempts for transient
+	// faults (the run converges and Verify passes); at or above the budget
+	// the task is quarantined instead (a lossy run by design).
+	FailAttempts int
+}
+
+// Faulty wraps a workload with deterministic handler-panic injection, the
+// workload-side half of a chaos run (the Transport wrapper perturbs
+// transfer; this perturbs execution).
+type Faulty struct {
+	inner workload.Workload
+	cfg   FaultyConfig
+
+	mu       sync.Mutex
+	attempts map[task.Task]int
+	panics   int
+}
+
+// NewFaulty wraps w with cfg's panic injection.
+func NewFaulty(w workload.Workload, cfg FaultyConfig) *Faulty {
+	return &Faulty{inner: w, cfg: cfg, attempts: make(map[task.Task]int)}
+}
+
+// Panics reports how many injected panics have fired so far.
+func (f *Faulty) Panics() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.panics
+}
+
+func (f *Faulty) Name() string              { return f.inner.Name() }
+func (f *Faulty) Graph() *graph.CSR         { return f.inner.Graph() }
+func (f *Faulty) InitialTasks() []task.Task { return f.inner.InitialTasks() }
+func (f *Faulty) Verify() error             { return f.inner.Verify() }
+
+func (f *Faulty) Reset() {
+	f.mu.Lock()
+	f.attempts = make(map[task.Task]int)
+	f.panics = 0
+	f.mu.Unlock()
+	f.inner.Reset()
+}
+
+func (f *Faulty) Clone() workload.Workload {
+	return NewFaulty(f.inner.Clone(), f.cfg)
+}
+
+func (f *Faulty) Process(t task.Task, emit func(task.Task)) int {
+	if f.cfg.PanicEvery > 0 && int(t.Node)%f.cfg.PanicEvery == 0 {
+		f.mu.Lock()
+		n := f.attempts[t]
+		if n < f.cfg.FailAttempts {
+			f.attempts[t] = n + 1
+			f.panics++
+			f.mu.Unlock()
+			panic(fmt.Sprintf("chaos: injected fault (node %d, attempt %d)", t.Node, n+1))
+		}
+		f.mu.Unlock()
+	}
+	return f.inner.Process(t, emit)
+}

@@ -1,6 +1,7 @@
 package drift
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 )
@@ -233,6 +234,108 @@ func TestFixedSchedule(t *testing.T) {
 	empty := FixedSchedule(nil, 42)
 	if empty(0) != 42 || empty(7) != 42 {
 		t.Fatal("empty schedule should use fallback")
+	}
+}
+
+// A poisoned task handler can feed the controller NaN, infinite, or
+// negative drift samples; before sanitizeDrift, one NaN made every
+// subsequent pd >= pdPrev comparison false and pinned the controller in
+// the "improving" branch forever. Each invalid sample must be clamped at
+// the boundary and counted, and the controller must keep stepping sanely.
+func TestControllerSanitizesInvalidDrift(t *testing.T) {
+	c := NewController(Config{InitialTDF: 50, Step: 10})
+	c.UpdateDrift(100) // baseline; prev=Increase
+
+	// NaN holds the previous drift: same-drift-after-increase worsens,
+	// so the controller backs off rather than comparing against NaN.
+	if got := c.UpdateDrift(math.NaN()); got != 40 {
+		t.Fatalf("NaN sample: TDF = %d, want 40", got)
+	}
+	if c.InvalidSamples() != 1 {
+		t.Fatalf("invalid samples = %d, want 1", c.InvalidSamples())
+	}
+	// The recorded history must hold the sanitized value, not NaN.
+	h := c.History()
+	if math.IsNaN(h[len(h)-1].Drift) {
+		t.Fatal("NaN leaked into the controller history")
+	}
+	if h[len(h)-1].Drift != 100 {
+		t.Fatalf("NaN sanitized to %v, want previous drift 100", h[len(h)-1].Drift)
+	}
+
+	// -Inf likewise falls back to the previous interval's drift.
+	c.UpdateDrift(math.Inf(-1))
+	if c.InvalidSamples() != 2 {
+		t.Fatalf("invalid samples = %d, want 2", c.InvalidSamples())
+	}
+	// +Inf clamps to MaxFloat64: maximal worsening, a real comparison.
+	c.UpdateDrift(math.Inf(+1))
+	if c.InvalidSamples() != 3 {
+		t.Fatalf("invalid samples = %d, want 3", c.InvalidSamples())
+	}
+	h = c.History()
+	if v := h[len(h)-1].Drift; v != math.MaxFloat64 {
+		t.Fatalf("+Inf sanitized to %v, want MaxFloat64", v)
+	}
+	// Negative drift clamps to zero (Equation 1 cannot go negative).
+	c.UpdateDrift(-42)
+	if c.InvalidSamples() != 4 {
+		t.Fatalf("invalid samples = %d, want 4", c.InvalidSamples())
+	}
+	h = c.History()
+	if v := h[len(h)-1].Drift; v != 0 {
+		t.Fatalf("negative drift sanitized to %v, want 0", v)
+	}
+	// The controller still works after the garbage: a normal worsening
+	// sample moves the TDF and stays within bounds.
+	tdf := c.UpdateDrift(500)
+	if tdf < c.Config().MinTDF || tdf > c.Config().MaxTDF {
+		t.Fatalf("TDF %d escaped [%d, %d] after invalid samples",
+			tdf, c.Config().MinTDF, c.Config().MaxTDF)
+	}
+	// Valid samples never bump the counter.
+	if c.InvalidSamples() != 4 {
+		t.Fatalf("valid sample counted as invalid: %d", c.InvalidSamples())
+	}
+}
+
+// A NaN in the very first interval (no previous drift to fall back to)
+// must sanitize to zero, not poison the stored baseline.
+func TestControllerNaNFirstInterval(t *testing.T) {
+	c := NewController(Config{InitialTDF: 50, Step: 10})
+	c.UpdateDrift(math.NaN())
+	if h := c.History(); h[0].Drift != 0 {
+		t.Fatalf("first-interval NaN stored as %v, want 0", h[0].Drift)
+	}
+	if c.InvalidSamples() != 1 {
+		t.Fatalf("invalid samples = %d, want 1", c.InvalidSamples())
+	}
+	// The baseline is usable: an improving second interval steps the TDF.
+	if got := c.UpdateDrift(0); got < c.Config().MinTDF {
+		t.Fatalf("TDF %d below floor after NaN baseline", got)
+	}
+}
+
+// Property: no stream of arbitrary float64 drifts (including NaN and ±Inf
+// from bit patterns) can drive the TDF out of bounds or poison the history.
+func TestControllerInvalidDriftProperty(t *testing.T) {
+	err := quick.Check(func(bits []uint64) bool {
+		c := NewController(Config{})
+		for _, b := range bits {
+			tdf := c.UpdateWithRef(math.Float64frombits(b), 0)
+			if tdf < c.Config().MinTDF || tdf > c.Config().MaxTDF {
+				return false
+			}
+		}
+		for _, rec := range c.History() {
+			if math.IsNaN(rec.Drift) || rec.Drift < 0 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
 	}
 }
 

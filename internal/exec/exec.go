@@ -10,6 +10,7 @@ package exec
 import (
 	"fmt"
 
+	"hdcps/internal/chaos"
 	"hdcps/internal/runtime"
 	"hdcps/internal/sched"
 	"hdcps/internal/sim"
@@ -36,8 +37,11 @@ type Spec struct {
 	Machine *sim.Config
 	// Native fully overrides the native runtime configuration; Cores is
 	// ignored when set (Seed still applies if Native.Seed is zero).
-	// Native executor only.
+	// Native and native-chaos executors only.
 	Native *runtime.Config
+	// Chaos selects the fault mix for the native-chaos executor
+	// (nil → chaos.DefaultMix(Seed)). Ignored by every other executor.
+	Chaos *chaos.Config
 }
 
 // Executor runs a workload to completion and reports the shared metrics
@@ -49,24 +53,28 @@ type Executor interface {
 	Run(w workload.Workload, spec Spec) stats.Run
 }
 
-// ByName resolves an executor: NativeName for the goroutine runtime, or any
-// scheduler name sched.ByName accepts for a simulated run.
+// ByName resolves an executor: NativeName for the goroutine runtime,
+// ChaosName for the fault-injected runtime, or any scheduler name
+// sched.ByName accepts for a simulated run.
 func ByName(name string) (Executor, error) {
-	if name == NativeName {
+	switch name {
+	case NativeName:
 		return nativeExecutor{}, nil
+	case ChaosName:
+		return chaosExecutor{}, nil
 	}
 	s, err := sched.ByName(name)
 	if err != nil {
-		return nil, fmt.Errorf("exec: unknown executor %q (simulated: %v; native: %q)",
-			name, sched.Names(), NativeName)
+		return nil, fmt.Errorf("exec: unknown executor %q (simulated: %v; native: %q, %q)",
+			name, sched.Names(), NativeName, ChaosName)
 	}
 	return simExecutor{s}, nil
 }
 
 // Names lists every registered executor: the simulated schedulers in their
-// usual order, then the native runtime.
+// usual order, then the native runtime and its chaos variant.
 func Names() []string {
-	return append(sched.Names(), NativeName)
+	return append(sched.Names(), NativeName, ChaosName)
 }
 
 // simExecutor adapts a sched.Scheduler to the Executor contract.

@@ -3,6 +3,7 @@ package exec
 import (
 	"testing"
 
+	"hdcps/internal/chaos"
 	"hdcps/internal/graph"
 	"hdcps/internal/sched"
 	"hdcps/internal/sim"
@@ -70,7 +71,7 @@ func TestByNameUnknown(t *testing.T) {
 
 func TestNamesCoverSchedulersPlusNative(t *testing.T) {
 	names := Names()
-	want := len(sched.Names()) + 1
+	want := len(sched.Names()) + 2 // native + native-chaos
 	if len(names) != want {
 		t.Fatalf("%d executors, want %d", len(names), want)
 	}
@@ -81,7 +82,48 @@ func TestNamesCoverSchedulersPlusNative(t *testing.T) {
 			t.Errorf("registered executor %q does not resolve: %v", n, err)
 		}
 	}
-	if !seen[NativeName] {
-		t.Fatalf("registry misses %q: %v", NativeName, names)
+	if !seen[NativeName] || !seen[ChaosName] {
+		t.Fatalf("registry misses %q or %q: %v", NativeName, ChaosName, names)
+	}
+}
+
+func TestRunChaos(t *testing.T) {
+	g := graph.Road(12, 12, 3)
+	w, err := workload.New("sssp", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := chaos.Config{Seed: 9, Delay: 0.1, Reorder: 0.3, RingFull: 0.1}
+	r, rep := RunChaos(w, Spec{Cores: 2, Seed: 9, Chaos: &mix})
+	if r.Scheduler != ChaosName || r.TasksProcessed <= 0 {
+		t.Fatalf("empty chaos run: %+v", r)
+	}
+	if rep.DrainErr != nil {
+		t.Fatalf("chaos run stalled: %v", rep.DrainErr)
+	}
+	if rep.ConservationErr != nil {
+		t.Fatalf("conservation violated: %v", rep.ConservationErr)
+	}
+	if rep.Snapshot.Outstanding != 0 {
+		t.Fatalf("outstanding %d after drain", rep.Snapshot.Outstanding)
+	}
+	if len(rep.Quarantined) != 0 {
+		t.Fatalf("healthy workload quarantined %d tasks", len(rep.Quarantined))
+	}
+	if rep.Faults == "" || rep.Mix != mix {
+		t.Fatalf("report incomplete: %+v", rep)
+	}
+	// Transport faults must not change the answer.
+	if err := w.Verify(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The registry resolves the same path.
+	x, err := ByName(ChaosName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 := x.Run(w.Clone(), Spec{Cores: 2, Seed: 9}); r2.TasksProcessed <= 0 {
+		t.Fatalf("registry chaos run empty: %+v", r2)
 	}
 }

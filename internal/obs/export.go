@@ -41,7 +41,13 @@ func (e Event) jsonFields() map[string]any {
 		return map[string]any{"prio": e.A}
 	case EvTDFStep:
 		return map[string]any{"tdf": e.A, "drift": math.Float64frombits(uint64(e.B)), "ref": e.C}
-	default: // park, wake: no payload
+	case EvPanic:
+		return map[string]any{"prio": e.A, "attempt": e.B}
+	case EvQuarantine:
+		return map[string]any{"prio": e.A, "attempts": e.B}
+	case EvRedirect:
+		return map[string]any{"tasks": e.A}
+	default: // park, wake, worker-restart: no payload
 		return nil
 	}
 }

@@ -48,13 +48,26 @@ const (
 	CDriftReports                  // Algorithm 3 priority reports sent
 	CTDFSteps                      // Algorithm 2 controller updates applied
 
+	// Fault-tolerance counters (the engine's conservation ledger and the
+	// failure paths a chaos run exercises).
+	CTasksSpawned      // children + bag units added by task processing
+	CBagsRetired       // bag units fully unpacked and retired
+	CTaskPanics        // task handler panics caught by the isolation layer
+	CTaskRetries       // panicked tasks re-queued under Config.Retry
+	CTasksQuarantined  // tasks that exhausted retries and were quarantined
+	COverflowRedirects // remote sends bounced back local by flow control
+	CDriftClamped      // out-of-range priority reports clamped by control
+	CWorkerRestarts    // worker loops restarted after an engine-level panic
+
 	numCounters
 )
 
 var counterNames = [numCounters]string{
 	"tasks_processed", "tasks_submitted", "edges_examined", "bags_created",
 	"bags_opened", "overflow_spills", "idle_parks", "drift_reports",
-	"tdf_steps",
+	"tdf_steps", "tasks_spawned", "bags_retired", "task_panics",
+	"task_retries", "tasks_quarantined", "overflow_redirects",
+	"drift_clamped", "worker_restarts",
 }
 
 // String returns the counter's snake_case export name.
@@ -70,22 +83,27 @@ type EventKind uint8
 
 // The event vocabulary of the runtime's layers.
 const (
-	EvTask        EventKind = iota // sampled task retirement: A=prio, B=worker total
-	EvSubmit                       // external injection: A=task count
-	EvBagCreated                   // A=bag prio, B=payload size
-	EvBagOpened                    // A=payload size
-	EvSpill                        // ring-full overflow spill: A=tasks spilled
-	EvPark                         // worker parked on a quiescent fleet
-	EvWake                         // worker woke from a park
-	EvDriftReport                  // Algorithm 3 report: A=reported prio
-	EvTDFStep                      // Algorithm 2 update: A=new TDF, B=drift bits, C=ref prio
+	EvTask          EventKind = iota // sampled task retirement: A=prio, B=worker total
+	EvSubmit                         // external injection: A=task count
+	EvBagCreated                     // A=bag prio, B=payload size
+	EvBagOpened                      // A=payload size
+	EvSpill                          // ring-full overflow spill: A=tasks spilled
+	EvPark                           // worker parked on a quiescent fleet
+	EvWake                           // worker woke from a park
+	EvDriftReport                    // Algorithm 3 report: A=reported prio
+	EvTDFStep                        // Algorithm 2 update: A=new TDF, B=drift bits, C=ref prio
+	EvPanic                          // caught handler panic: A=prio, B=attempt
+	EvQuarantine                     // task quarantined: A=prio, B=attempts
+	EvRedirect                       // flow-control bounce kept local: A=task count
+	EvWorkerRestart                  // worker loop restarted after an internal panic
 
 	numEventKinds
 )
 
 var eventNames = [numEventKinds]string{
 	"task", "submit", "bag-created", "bag-opened", "spill", "park", "wake",
-	"drift-report", "tdf-step",
+	"drift-report", "tdf-step", "panic", "quarantine", "redirect",
+	"worker-restart",
 }
 
 // String returns the kind's export name.

@@ -33,6 +33,10 @@ type controlPlane struct {
 	// with neverReported.
 	reports     []int64
 	reportCount atomic.Int64
+	// clamped counts out-of-range priority reports rejected at the
+	// boundary (negative, or colliding with the never-reported sentinel)
+	// before they could corrupt the drift signal.
+	clamped atomic.Int64
 
 	mu   sync.Mutex // serializes controller updates and history reads
 	ctrl *drift.Controller
@@ -83,6 +87,21 @@ func (cp *controlPlane) SampleInterval() int64 {
 // reported are excluded from the snapshot rather than contributing stale
 // zeros.
 func (cp *controlPlane) Report(id int, prio int64) {
+	// Validate at the boundary: a handler that emits a negative priority or
+	// one colliding with the never-reported sentinel would fabricate a huge
+	// drift term (Equation 1's reference is the minimum report) and walk
+	// the controller's TDF off a corrupted signal. Clamp and count instead.
+	if prio < 0 || prio >= neverReported {
+		if prio < 0 {
+			prio = 0
+		} else {
+			prio = neverReported - 1
+		}
+		cp.clamped.Add(1)
+		if rec := cp.rec; rec != nil {
+			rec.Add(id, obs.CDriftClamped, 1)
+		}
+	}
 	atomic.StoreInt64(&cp.reports[id], prio)
 	if rec := cp.rec; rec != nil {
 		rec.Add(id, obs.CDriftReports, 1)
@@ -115,6 +134,10 @@ func (cp *controlPlane) Report(id int, prio int64) {
 		rec.Event(id, obs.EvTDFStep, int64(tdf), int64(math.Float64bits(pd)), ref)
 	}
 }
+
+// Clamped reports how many out-of-range priority reports were clamped at
+// the boundary so far.
+func (cp *controlPlane) Clamped() int64 { return cp.clamped.Load() }
 
 // History returns the controller's per-interval drift/TDF records. Safe to
 // call while workers are still reporting.

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"hdcps/internal/drift"
+	"hdcps/internal/obs"
 )
 
 // A fast worker completing a whole report interval alone must not drag the
@@ -60,6 +61,45 @@ func TestControlPlaneFixedTDF(t *testing.T) {
 	cp2 := newControlPlane(Config{Workers: 2}.withDefaults())
 	if cp2.TDF() != 100 {
 		t.Fatalf("default fixed TDF %d, want 100", cp2.TDF())
+	}
+}
+
+// A handler that emits a negative priority, or one at or above the
+// never-reported sentinel, used to flow straight into the drift snapshot:
+// one -1<<40 report fabricated a drift term that walked the controller's
+// TDF to its floor. Report must clamp such priorities at the boundary,
+// count them, and keep the drift signal finite.
+func TestControlPlaneClampsOutOfRangePriorities(t *testing.T) {
+	rec := obs.New(obs.Config{Workers: 2})
+	cfg := Config{Workers: 2, UseTDF: true, Obs: rec}.withDefaults()
+	cp := newControlPlane(cfg)
+
+	cp.Report(0, -1<<40)          // negative: clamps to 0
+	cp.Report(1, neverReported+7) // sentinel collision: clamps to neverReported-1
+	if got := cp.Clamped(); got != 2 {
+		t.Fatalf("clamped = %d, want 2", got)
+	}
+	if got := rec.Total(obs.CDriftClamped); got != 2 {
+		t.Fatalf("obs CDriftClamped = %d, want 2", got)
+	}
+	h := cp.History()
+	if len(h) != 1 {
+		t.Fatalf("controller updates %d, want 1", len(h))
+	}
+	// Snapshot is {0, neverReported-1}: drift is finite and the reference
+	// is the clamped negative, not the raw garbage.
+	if h[0].Ref != 0 {
+		t.Fatalf("reference %d, want clamped 0", h[0].Ref)
+	}
+	if want := float64(neverReported-1) / 2; h[0].Drift != want {
+		t.Fatalf("drift %v, want %v", h[0].Drift, want)
+	}
+
+	// In-range reports don't touch the counter.
+	cp.Report(0, 100)
+	cp.Report(1, 200)
+	if got := cp.Clamped(); got != 2 {
+		t.Fatalf("in-range report counted as clamped: %d", got)
 	}
 }
 

@@ -82,10 +82,18 @@ type Engine struct {
 	// outstanding counts every task (and bag) emitted but not yet fully
 	// processed; zero means the system is quiescent.
 	outstanding atomic.Int64
+	// submitted counts externally injected tasks — the left side of the
+	// conservation ledger (see fault.go). Incremented before outstanding so
+	// an observer that sees the work also sees its ledger entry.
+	submitted atomic.Int64
 	// epoch counts Submit calls; parked workers wake when it advances.
 	epoch atomic.Uint64
 	stop  atomic.Bool
 	state atomic.Int32
+
+	// faults is the panic-isolation ledger: retry attempts, the poison-task
+	// quarantine, and worker-restart counts (fault.go).
+	faults faultState
 
 	mu   sync.Mutex // guards the park/wake handshake
 	cond *sync.Cond
@@ -118,24 +126,37 @@ type worker struct {
 
 	// Run-local counters: plain fields on the hot path, mirrored into the
 	// pub* atomics at flush/park/exit boundaries so Snapshot can read them
-	// race-free while the worker runs.
+	// race-free while the worker runs. spawned and bagsRetired are the
+	// conservation ledger's add/retire sides and are additionally stored
+	// before the outstanding-count transition that makes them observable,
+	// so the ledger is exact at quiescence (fault.go).
 	processed   int64
 	bags        int64
 	edges       int64
 	idleParks   int64
+	spawned     int64
+	bagsRetired int64
+	redirects   int64
 	sinceReport int64
 	sinceFlush  int
+
+	// parked is set while the worker blocks in the park/wake handshake
+	// (StallError diagnostics read it).
+	parked atomic.Bool
 
 	// The pub* pointers are the atomic shadows the loop publishes into:
 	// the worker's own pubLocal slots normally, or the attached recorder's
 	// counter row when observability is on. Sharing the slot means an
 	// enabled recorder costs the per-task path no atomics beyond the ones
 	// the engine already pays.
-	pubProcessed *atomic.Int64
-	pubBags      *atomic.Int64
-	pubEdges     *atomic.Int64
-	pubIdleParks *atomic.Int64
-	pubLocal     [4]atomic.Int64
+	pubProcessed   *atomic.Int64
+	pubBags        *atomic.Int64
+	pubEdges       *atomic.Int64
+	pubIdleParks   *atomic.Int64
+	pubSpawned     *atomic.Int64
+	pubBagsRetired *atomic.Int64
+	pubRedirects   *atomic.Int64
+	pubLocal       [7]atomic.Int64
 
 	_pad [4]int64 // reduce false sharing between workers
 }
@@ -146,6 +167,9 @@ func (me *worker) publish() {
 	me.pubBags.Store(me.bags)
 	me.pubEdges.Store(me.edges)
 	me.pubIdleParks.Store(me.idleParks)
+	me.pubSpawned.Store(me.spawned)
+	me.pubBagsRetired.Store(me.bagsRetired)
+	me.pubRedirects.Store(me.redirects)
 }
 
 // NewEngine builds an engine over w (which is Reset) with cfg defaults
@@ -167,7 +191,7 @@ func NewEngine(w workload.Workload, cfg Config) *Engine {
 	if cfg.NewTransport != nil {
 		e.transport = cfg.NewTransport(cfg)
 	} else {
-		e.transport = newRingTransport(cfg.Workers, cfg.RingSize, cfg.BatchSize, cfg.Obs)
+		e.transport = newRingTransport(cfg.Workers, cfg.RingSize, cfg.BatchSize, cfg.OverflowCap, cfg.Obs)
 	}
 	e.rt, _ = e.transport.(*ringTransport)
 	for i := range e.workers {
@@ -190,11 +214,17 @@ func NewEngine(w workload.Workload, cfg Config) *Engine {
 			me.pubBags = rec.CounterSlot(i, obs.CBagsCreated)
 			me.pubEdges = rec.CounterSlot(i, obs.CEdgesExamined)
 			me.pubIdleParks = rec.CounterSlot(i, obs.CIdleParks)
+			me.pubSpawned = rec.CounterSlot(i, obs.CTasksSpawned)
+			me.pubBagsRetired = rec.CounterSlot(i, obs.CBagsRetired)
+			me.pubRedirects = rec.CounterSlot(i, obs.COverflowRedirects)
 		} else {
 			me.pubProcessed = &me.pubLocal[0]
 			me.pubBags = &me.pubLocal[1]
 			me.pubEdges = &me.pubLocal[2]
 			me.pubIdleParks = &me.pubLocal[3]
+			me.pubSpawned = &me.pubLocal[4]
+			me.pubBagsRetired = &me.pubLocal[5]
+			me.pubRedirects = &me.pubLocal[6]
 		}
 	}
 	if cfg.Obs != nil {
@@ -226,7 +256,14 @@ func (e *Engine) Start() error {
 			// per worker (pprof labels cost nothing off the profiling path).
 			pprof.Do(context.Background(),
 				pprof.Labels("hdcps_worker", strconv.Itoa(id)),
-				func(context.Context) { e.runWorker(id) })
+				func(context.Context) {
+					// Last line of defense: a panic that escapes the per-task
+					// recover (an engine or transport bug, not a task fn)
+					// must not kill the worker — a dead worker strands its
+					// queued tasks and wedges Drain. Restart the loop instead.
+					for !e.runWorkerGuarded(id) {
+					}
+				})
 		}(i)
 	}
 	go func() {
@@ -252,8 +289,10 @@ func (e *Engine) Submit(ts ...task.Task) error {
 	if e.state.Load() == stateNew && e.submitIdle(ts) {
 		return nil
 	}
-	// The count lands before any task is published, preserving the
-	// outstanding-never-falsely-zero invariant.
+	// The ledger entry lands first, then the count, then the tasks are
+	// published — preserving both the outstanding-never-falsely-zero
+	// invariant and the conservation ledger's at-quiescence exactness.
+	e.submitted.Add(int64(len(ts)))
 	e.outstanding.Add(int64(len(ts)))
 	if rec := e.obs; rec != nil {
 		rec.Add(obs.External, obs.CTasksSubmitted, int64(len(ts)))
@@ -290,6 +329,7 @@ func (e *Engine) submitIdle(ts []task.Task) bool {
 	if e.state.Load() != stateNew {
 		return false
 	}
+	e.submitted.Add(int64(len(ts)))
 	e.outstanding.Add(int64(len(ts)))
 	if rec := e.obs; rec != nil {
 		rec.Add(obs.External, obs.CTasksSubmitted, int64(len(ts)))
@@ -304,8 +344,13 @@ func (e *Engine) submitIdle(ts []task.Task) bool {
 }
 
 // Drain blocks until the engine is quiescent — every submitted task and all
-// transitively generated work fully processed — or ctx is cancelled. The
-// fleet stays running (parked) afterwards; more work may be Submitted.
+// transitively generated work fully processed or quarantined — or ctx is
+// cancelled, in which case it returns a *StallError wrapping ctx.Err() with
+// per-worker diagnostics. With Config.StallTimeout set, a fleet that makes
+// no progress for that long returns a *StallError wrapping ErrStalled even
+// under a background context, so Drain can never block forever on a wedged
+// engine. The fleet stays running (parked) afterwards; more work may be
+// Submitted.
 func (e *Engine) Drain(ctx context.Context) error {
 	// Hot phase: quiescence usually lands within microseconds of the last
 	// retired task, so poll briefly before arming timers.
@@ -317,12 +362,17 @@ func (e *Engine) Drain(ctx context.Context) error {
 			return ErrStopped
 		}
 		if err := ctx.Err(); err != nil {
-			return err
+			return e.stallError("drain", err)
 		}
 		stdruntime.Gosched()
 	}
 	tick := time.NewTicker(200 * time.Microsecond)
 	defer tick.Stop()
+	// Liveness watchdog: progress is any ledger movement (a retirement, a
+	// quarantine, a new submission). A long-running task is progress-free
+	// but legitimate, which is why the watchdog is opt-in per Config.
+	lastProgress := time.Now()
+	lastLedger := e.ledgerMark()
 	for {
 		if e.outstanding.Load() == 0 {
 			return nil
@@ -330,21 +380,40 @@ func (e *Engine) Drain(ctx context.Context) error {
 		if e.stop.Load() {
 			return ErrStopped
 		}
+		if d := e.cfg.StallTimeout; d > 0 {
+			if mark := e.ledgerMark(); mark != lastLedger {
+				lastLedger = mark
+				lastProgress = time.Now()
+			} else if time.Since(lastProgress) > d {
+				return e.stallError("drain", ErrStalled)
+			}
+		}
 		select {
 		case <-e.quiet:
 		case <-tick.C:
 		case <-ctx.Done():
-			return ctx.Err()
+			return e.stallError("drain", ctx.Err())
 		}
 	}
+}
+
+// ledgerMark folds the conservation ledger's moving parts into one value
+// that changes whenever the engine makes progress.
+func (e *Engine) ledgerMark() int64 {
+	m := e.submitted.Load() + e.faults.nQuarantined.Load() + e.faults.panics.Load()
+	for i := range e.workers {
+		m += e.workers[i].pubProcessed.Load()
+	}
+	return m
 }
 
 // Stop asks the fleet to exit — parked workers wake and return, busy
 // workers stop after their current task, abandoning unprocessed work (Drain
 // first for a clean finish) — and waits for every worker to exit or ctx to
-// be cancelled. A cancelled ctx makes Stop return promptly with ctx.Err()
-// while workers keep winding down in the background; calling Stop again
-// waits for them.
+// be cancelled. A cancelled ctx makes Stop return promptly with a
+// *StallError wrapping ctx.Err() (per-worker diagnostics attached) while
+// workers keep winding down in the background; calling Stop again waits
+// for them.
 func (e *Engine) Stop(ctx context.Context) error {
 	if e.state.CompareAndSwap(stateNew, stateStopped) {
 		e.stop.Store(true)
@@ -359,7 +428,7 @@ func (e *Engine) Stop(ctx context.Context) error {
 		e.state.Store(stateStopped)
 		return nil
 	case <-ctx.Done():
-		return ctx.Err()
+		return e.stallError("stop", ctx.Err())
 	}
 }
 
@@ -382,11 +451,13 @@ func (e *Engine) park(me *worker) bool {
 	if rec := e.obs; rec != nil {
 		rec.Event(me.id, obs.EvPark, 0, 0, 0)
 	}
+	me.parked.Store(true)
 	e.mu.Lock()
 	for e.outstanding.Load() == 0 && !e.stop.Load() {
 		e.cond.Wait()
 	}
 	e.mu.Unlock()
+	me.parked.Store(false)
 	if rec := e.obs; rec != nil {
 		rec.Event(me.id, obs.EvWake, 0, 0, 0)
 	}
@@ -407,7 +478,9 @@ func (e *Engine) account(delta int64) {
 
 // recv, send, pending, and flush route the worker loop's per-iteration
 // transport calls through the devirtualized rt when the stock transport is
-// in use; a custom Transport pays the interface dispatch instead.
+// in use; a custom Transport pays the interface dispatch instead. send and
+// flush absorb flow-control rejects: tasks a saturated destination bounced
+// stay on the sending worker (spill-to-local).
 func (e *Engine) recv(id int, buf []task.Task) []task.Task {
 	if e.rt != nil {
 		return e.rt.Recv(id, buf)
@@ -415,12 +488,16 @@ func (e *Engine) recv(id int, buf []task.Task) []task.Task {
 	return e.transport.Recv(id, buf)
 }
 
-func (e *Engine) send(src, dst int, t task.Task) {
+func (e *Engine) send(me *worker, dst int, t task.Task) {
+	var rej []task.Task
 	if e.rt != nil {
-		e.rt.Send(src, dst, t)
-		return
+		rej = e.rt.Send(me.id, dst, t)
+	} else {
+		rej = e.transport.Send(me.id, dst, t)
 	}
-	e.transport.Send(src, dst, t)
+	if len(rej) > 0 {
+		e.redirect(me, rej)
+	}
 }
 
 func (e *Engine) pending(id int) int {
@@ -430,12 +507,54 @@ func (e *Engine) pending(id int) int {
 	return e.transport.Pending(id)
 }
 
-func (e *Engine) flush(id int) {
+func (e *Engine) flush(me *worker) {
+	var rej []task.Task
 	if e.rt != nil {
-		e.rt.Flush(id)
-		return
+		rej = e.rt.Flush(me.id)
+	} else {
+		rej = e.transport.Flush(me.id)
 	}
-	e.transport.Flush(id)
+	if len(rej) > 0 {
+		e.redirect(me, rej)
+	}
+}
+
+// redirect keeps flow-control-rejected tasks on the sending worker: they go
+// into its own local queue instead of growing a saturated destination's
+// overflow without bound. Outstanding accounting is untouched — the tasks
+// were already counted when they were spawned.
+func (e *Engine) redirect(me *worker, ts []task.Task) {
+	for _, t := range ts {
+		me.queue.Push(t)
+	}
+	me.redirects += int64(len(ts))
+	me.pubRedirects.Store(me.redirects)
+	if rec := e.obs; rec != nil {
+		rec.Event(me.id, obs.EvRedirect, int64(len(ts)), 0, 0)
+	}
+}
+
+// runWorkerGuarded runs the worker loop, recovering any panic that escapes
+// the per-task isolation in processOne — an engine-internal bug, not a task
+// handler fault. It reports true on a clean (stop-requested) exit and false
+// when the loop died and should be restarted. Accounting already performed
+// by the interrupted iteration is preserved (counters are monotone and the
+// outstanding ledger is adjusted before work becomes visible), so a restart
+// can at worst re-deliver the interrupted task's siblings, never lose the
+// count that lets Drain terminate.
+func (e *Engine) runWorkerGuarded(id int) (clean bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			clean = false
+			e.faults.restarts.Add(1)
+			if rec := e.obs; rec != nil {
+				rec.Add(id, obs.CWorkerRestarts, 1)
+				rec.Event(id, obs.EvWorkerRestart, 0, 0, 0)
+			}
+		}
+	}()
+	e.runWorker(id)
+	return true
 }
 
 func (e *Engine) runWorker(id int) {
@@ -458,7 +577,7 @@ func (e *Engine) runWorker(id int) {
 			if e.pending(id) > 0 {
 				// Out of local work: ship every partial batch before idling
 				// so no task waits on this worker's buffers.
-				e.flush(id)
+				e.flush(me)
 				me.sinceFlush = 0
 				continue
 			}
@@ -502,23 +621,85 @@ func (e *Engine) runWorker(id int) {
 				e.processOne(id, me, bt)
 			}
 			st.release(s)
+			// Publish the bag's retirement before it leaves the outstanding
+			// count, mirroring pubProcessed's ordering (conservation ledger).
+			me.bagsRetired++
+			me.pubBagsRetired.Store(me.bagsRetired)
 			e.account(-1) // the bag itself
 		} else {
 			e.processOne(id, me, t)
 		}
 
 		if me.sinceFlush >= e.cfg.FlushInterval && e.pending(id) > 0 {
-			e.flush(id)
+			e.flush(me)
 			me.sinceFlush = 0
 			me.publish()
 		}
 	}
 }
 
+// runTask executes one task handler under the panic-isolation recover: a
+// panicking handler yields its recover() value instead of killing the
+// worker. The open-coded defer keeps the no-panic cost to a few
+// nanoseconds, which is the whole fault layer's hot-path footprint.
+func (e *Engine) runTask(me *worker, t task.Task) (edges int, pv any) {
+	defer func() {
+		if r := recover(); r != nil {
+			pv = r
+		}
+	}()
+	return e.w.Process(t, me.emit), nil
+}
+
+// handleFault routes one caught handler panic: retry under Config.Retry
+// (the task stays outstanding and goes back into this worker's queue) or
+// quarantine (the task retires into the poison list, keeping the
+// conservation ledger balanced so Drain still terminates). Children emitted
+// before the panic are discarded — a task's effects land exactly once, on
+// the attempt that completes.
+func (e *Engine) handleFault(id int, me *worker, t task.Task, pv any) {
+	me.children = me.children[:0]
+	attempt, retry := e.faults.recordPanic(t, id, pv, e.cfg.Retry)
+	if rec := e.obs; rec != nil {
+		rec.Add(id, obs.CTaskPanics, 1)
+		rec.Event(id, obs.EvPanic, t.Prio, int64(attempt), 0)
+	}
+	if retry {
+		if rec := e.obs; rec != nil {
+			rec.Add(id, obs.CTaskRetries, 1)
+		}
+		if b := e.cfg.Retry.Backoff; b > 0 {
+			// Served on the failing worker: panics are exceptional, so a
+			// brief stall here beats a timer wheel on the happy path.
+			time.Sleep(time.Duration(attempt) * b)
+		}
+		me.queue.Push(t) // still outstanding; retried by this worker
+		return
+	}
+	if rec := e.obs; rec != nil {
+		rec.Add(id, obs.CTasksQuarantined, 1)
+		rec.Event(id, obs.EvQuarantine, t.Prio, int64(attempt), 0)
+	}
+	// The quarantine record is in the ledger (recordPanic) before the task
+	// leaves the outstanding count, mirroring pubProcessed's ordering.
+	e.account(-1)
+}
+
 // processOne executes one task and distributes its children.
 func (e *Engine) processOne(id int, me *worker, t task.Task) {
 	me.children = me.children[:0]
-	me.edges += int64(e.w.Process(t, me.emit))
+	edges, pv := e.runTask(me, t)
+	if pv != nil {
+		e.handleFault(id, me, t, pv)
+		return
+	}
+	if e.faults.retrying.Load() > 0 {
+		// A prior attempt of this task may have panicked; forget its count
+		// so the retry map only holds tasks still cycling. One atomic load
+		// (of a line that is zero outside fault windows) on the hot path.
+		e.faults.clearRetry(t)
+	}
+	me.edges += int64(edges)
 	me.processed++
 	// Publish the processed total BEFORE this task can leave `outstanding`
 	// (the account calls below): any reader that sees the retirement also
@@ -533,10 +714,15 @@ func (e *Engine) processOne(id int, me *worker, t task.Task) {
 
 	// Account all new work and retire this task in one shared atomic; the
 	// increment lands before any child becomes visible, so outstanding can
-	// never dip to zero while work exists.
+	// never dip to zero while work exists. The spawned total is published
+	// first so the conservation ledger's add side is never behind the
+	// outstanding count it explains.
 	if len(me.children) > 0 {
 		bags, singles := me.part.Partition(me.children, e.cfg.Bags, me.newBagID)
-		e.account(int64(len(bags)) + int64(countTasks(bags)) + int64(len(singles)) - 1)
+		spawned := int64(len(bags)) + int64(countTasks(bags)) + int64(len(singles))
+		me.spawned += spawned
+		me.pubSpawned.Store(me.spawned)
+		e.account(spawned - 1)
 		for _, b := range bags {
 			me.bags++
 			s := me.store.get(uint32(b.ID))
@@ -588,7 +774,7 @@ func (e *Engine) dispatch(id int, me *worker, t task.Task) {
 		me.queue.Push(t)
 		return
 	}
-	e.send(id, dst, t)
+	e.send(me, dst, t)
 }
 
 // WorkerStats is one worker's Snapshot row.
@@ -597,6 +783,7 @@ type WorkerStats struct {
 	Bags           int64 // bags created by this worker
 	OverflowSpills int64 // full-ring spills that landed at this worker
 	IdleParks      int64 // times the worker parked on a quiescent fleet
+	Redirects      int64 // flow-control bounces this worker kept local
 }
 
 // Snapshot is a cheap point-in-time view of a running engine: per-worker
@@ -622,6 +809,19 @@ type Snapshot struct {
 	BagsCreated    int64
 	EdgesExamined  int64
 
+	// The conservation ledger (fault.go). At quiescence (Drain returned,
+	// no concurrent Submit):
+	//
+	//	Submitted + Spawned == TasksProcessed + BagsRetired + Quarantined
+	//
+	// and Outstanding == 0 — the no-task-loss invariant the chaos harness
+	// asserts at every checkpoint.
+	Submitted   int64 // tasks injected via Submit
+	Spawned     int64 // children + bag units created by task processing
+	BagsRetired int64 // bag units fully unpacked and retired
+	Quarantined int64 // poison tasks retired into Engine.Quarantined
+	Redirects   int64 // flow-control bounces kept local (degradation signal)
+
 	Workers []WorkerStats
 }
 
@@ -638,6 +838,8 @@ func (e *Engine) Snapshot() Snapshot {
 		Epoch:       e.epoch.Load(),
 		Outstanding: e.outstanding.Load(),
 		TDF:         int(e.control.TDF()),
+		Submitted:   e.submitted.Load(),
+		Quarantined: e.faults.nQuarantined.Load(),
 		Workers:     make([]WorkerStats, len(e.workers)),
 	}
 	for i := range e.workers {
@@ -647,11 +849,15 @@ func (e *Engine) Snapshot() Snapshot {
 			Bags:           me.pubBags.Load(),
 			OverflowSpills: e.transport.Spills(i),
 			IdleParks:      me.pubIdleParks.Load(),
+			Redirects:      me.pubRedirects.Load(),
 		}
 		s.Workers[i] = ws
 		s.TasksProcessed += ws.Processed
 		s.BagsCreated += ws.Bags
 		s.EdgesExamined += me.pubEdges.Load()
+		s.Spawned += me.pubSpawned.Load()
+		s.BagsRetired += me.pubBagsRetired.Load()
+		s.Redirects += ws.Redirects
 	}
 	return s
 }

@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -115,7 +116,7 @@ func TestEngineStopCancelledContext(t *testing.T) {
 	cancelled, cancel := context.WithCancel(context.Background())
 	cancel()
 	start := time.Now()
-	if err := e.Stop(cancelled); err != context.Canceled {
+	if err := e.Stop(cancelled); !errors.Is(err, context.Canceled) {
 		t.Fatalf("Stop(cancelled) = %v, want context.Canceled", err)
 	}
 	if d := time.Since(start); d > 250*time.Millisecond {
@@ -259,7 +260,7 @@ func TestEngineDrainCancelled(t *testing.T) {
 	cancel()
 	// The run may legitimately finish inside Drain's spin phase on a fast
 	// machine (nil); anything other than that or Canceled is a bug.
-	if err := e.Drain(cancelled); err != nil && err != context.Canceled {
+	if err := e.Drain(cancelled); err != nil && !errors.Is(err, context.Canceled) {
 		t.Fatalf("Drain(cancelled) = %v", err)
 	}
 	ctx := testCtx(t)

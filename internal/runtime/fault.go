@@ -1,0 +1,196 @@
+package runtime
+
+// The fault layer is the engine's failure model, grown out of a concrete
+// wedge: a panicking task handler used to kill its worker goroutine and
+// leave Drain blocked forever on an outstanding count that could no longer
+// reach zero. Now a handler panic is a per-task event — the worker
+// survives, the task is retried under Config.Retry and quarantined when
+// retries are exhausted, and every failure path stays inside the engine's
+// conservation ledger:
+//
+//	Submitted + Spawned = Processed + BagsRetired + Quarantined + Outstanding
+//
+// exactly at quiescence (each term's publication is ordered before the
+// outstanding-count transition that makes it observable). The chaos harness
+// (internal/chaos) asserts this ledger at every drain checkpoint.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hdcps/internal/task"
+)
+
+// RetryPolicy configures how the engine handles a task whose handler
+// panics. The zero value quarantines on the first panic.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of times a panicking task is run
+	// before quarantine. Values <= 1 mean no retries.
+	MaxAttempts int
+	// Backoff is the delay before retry attempt n, scaled linearly
+	// (attempt * Backoff) and served on the failing worker — panics are
+	// exceptional, so briefly stalling one worker is cheaper than a timer
+	// wheel. 0 retries immediately.
+	Backoff time.Duration
+}
+
+// QuarantinedTask is one poisoned task: it exhausted its retry budget (or
+// panicked with retries disabled) and was retired into quarantine instead
+// of processed. The task's priority, the panic value of the final attempt,
+// and the worker that caught it are kept for diagnosis.
+type QuarantinedTask struct {
+	Task     task.Task
+	Worker   int // worker that caught the final panic
+	Attempts int // total handler invocations, including the first
+	Panic    any // recover() value of the final attempt
+	Time     time.Time
+}
+
+func (q QuarantinedTask) String() string {
+	return fmt.Sprintf("task{node %d prio %d} worker %d after %d attempt(s): %v",
+		q.Task.Node, q.Task.Prio, q.Worker, q.Attempts, q.Panic)
+}
+
+// faultState is the engine's mutex-guarded fault ledger. Everything here is
+// off the hot path — it is touched only when a handler panics — except the
+// lock-free quarantined count Snapshot reads.
+type faultState struct {
+	mu          sync.Mutex
+	attempts    map[task.Task]int // panic count per retrying task value
+	quarantined []QuarantinedTask
+
+	nQuarantined atomic.Int64 // len(quarantined), readable without the lock
+	retrying     atomic.Int64 // tasks currently holding a retry map entry
+	panics       atomic.Int64
+	retries      atomic.Int64
+	restarts     atomic.Int64 // worker-loop restarts (engine-level panics)
+}
+
+// recordPanic registers one caught handler panic and decides the task's
+// fate: retry (true, with the attempt number) or quarantine (false).
+func (fs *faultState) recordPanic(t task.Task, worker int, pv any, policy RetryPolicy) (attempt int, retry bool) {
+	fs.panics.Add(1)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.attempts == nil {
+		fs.attempts = make(map[task.Task]int)
+	}
+	if _, ok := fs.attempts[t]; !ok {
+		fs.retrying.Add(1)
+	}
+	fs.attempts[t]++
+	attempt = fs.attempts[t]
+	if attempt < policy.MaxAttempts {
+		fs.retries.Add(1)
+		return attempt, true
+	}
+	delete(fs.attempts, t)
+	fs.retrying.Add(-1)
+	fs.quarantined = append(fs.quarantined, QuarantinedTask{
+		Task: t, Worker: worker, Attempts: attempt, Panic: pv, Time: time.Now(),
+	})
+	fs.nQuarantined.Add(1)
+	return attempt, false
+}
+
+// clearRetry forgets a task's attempt count after it finally succeeded, so
+// the map only holds tasks currently cycling through retries. The caller
+// gates on fs.retrying, so the lock is only taken during fault windows.
+func (fs *faultState) clearRetry(t task.Task) {
+	fs.mu.Lock()
+	if _, ok := fs.attempts[t]; ok {
+		delete(fs.attempts, t)
+		fs.retrying.Add(-1)
+	}
+	fs.mu.Unlock()
+}
+
+// snapshot copies the quarantine list.
+func (fs *faultState) snapshot() []QuarantinedTask {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return append([]QuarantinedTask(nil), fs.quarantined...)
+}
+
+// WorkerState is one worker's row in a StallError: the race-safe view of
+// where the fleet was when the deadline hit.
+type WorkerState struct {
+	ID        int
+	Processed int64 // tasks retired by this worker
+	IdleParks int64 // park episodes so far
+	Spills    int64 // overflow spills landed at this worker's endpoint
+	Parked    bool  // currently blocked in the park/wake handshake
+}
+
+// StallError is the diagnostic Drain and Stop return instead of blocking
+// forever: the deadline (or the liveness watchdog) fired while work was
+// still outstanding. It wraps the triggering error (ctx.Err(), or
+// ErrStalled for the watchdog) and carries enough engine state to tell a
+// wedged fleet from a slow one — per-worker progress and park state, the
+// conservation ledger, and the submission epoch.
+type StallError struct {
+	Op  string // "drain" or "stop"
+	Err error  // ctx.Err() or ErrStalled
+
+	Outstanding int64
+	Submitted   int64
+	Processed   int64
+	Quarantined int64
+	Epoch       uint64 // submission epochs so far (park/wake generations)
+	Workers     []WorkerState
+}
+
+func (e *StallError) Error() string {
+	parked := 0
+	for _, w := range e.Workers {
+		if w.Parked {
+			parked++
+		}
+	}
+	return fmt.Sprintf(
+		"runtime: %s stalled (%v): outstanding %d, submitted %d, processed %d, quarantined %d, epoch %d, %d/%d workers parked",
+		e.Op, e.Err, e.Outstanding, e.Submitted, e.Processed, e.Quarantined,
+		e.Epoch, parked, len(e.Workers))
+}
+
+// Unwrap exposes the triggering error, so errors.Is(err, context.Canceled)
+// and friends keep working on the wrapped diagnostic.
+func (e *StallError) Unwrap() error { return e.Err }
+
+// ErrStalled is the error a StallError wraps when Config.StallTimeout fired
+// (no progress for the configured window), as opposed to ctx expiry.
+var ErrStalled = fmt.Errorf("runtime: no progress within the stall timeout")
+
+// stallError assembles the diagnostic from the engine's race-safe state.
+func (e *Engine) stallError(op string, cause error) *StallError {
+	se := &StallError{
+		Op:          op,
+		Err:         cause,
+		Outstanding: e.outstanding.Load(),
+		Submitted:   e.submitted.Load(),
+		Quarantined: e.faults.nQuarantined.Load(),
+		Epoch:       e.epoch.Load(),
+		Workers:     make([]WorkerState, len(e.workers)),
+	}
+	for i := range e.workers {
+		me := &e.workers[i]
+		ws := WorkerState{
+			ID:        i,
+			Processed: me.pubProcessed.Load(),
+			IdleParks: me.pubIdleParks.Load(),
+			Spills:    e.transport.Spills(i),
+			Parked:    me.parked.Load(),
+		}
+		se.Workers[i] = ws
+		se.Processed += ws.Processed
+	}
+	return se
+}
+
+// Quarantined returns a copy of the poison-task list: every task that
+// exhausted its retry budget. Safe from any goroutine at any lifecycle
+// stage; the engine retires quarantined tasks from the outstanding count,
+// so Drain completes even when tasks are poisoned.
+func (e *Engine) Quarantined() []QuarantinedTask { return e.faults.snapshot() }

@@ -73,6 +73,24 @@ type Config struct {
 	// out-of-range worker indices fold into the recorder's shared row.
 	Obs *obs.Recorder
 
+	// Retry configures per-task panic handling: a task whose handler panics
+	// is retried up to Retry.MaxAttempts times, then quarantined (see
+	// Engine.Quarantined). The zero value disables retries — the first
+	// panic quarantines — and costs the hot path nothing.
+	Retry RetryPolicy
+	// OverflowCap bounds each transport endpoint's overflow stack, in
+	// tasks. A saturated destination (full ring AND full overflow) bounces
+	// further worker sends back to the sender, which keeps them in its own
+	// local queue (Snapshot.Redirects counts these). 0 defaults to 4096;
+	// negative means unbounded (the pre-flow-control behavior).
+	OverflowCap int
+	// StallTimeout arms Drain's liveness watchdog: if the engine makes no
+	// progress (no task retired, no quarantine, no new submission) for this
+	// long while work is still outstanding, Drain returns a *StallError
+	// with per-worker diagnostics instead of blocking forever. 0 disables
+	// the watchdog (Drain then bounds its wait with ctx alone).
+	StallTimeout time.Duration
+
 	// BatchSize is the per-destination dispatch buffer: remote children
 	// accumulate until BatchSize are ready, then ship with a single
 	// claim-CAS (rq.TryPushBatch). 0 defaults to 16.
@@ -105,6 +123,9 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = 16
+	}
+	if cfg.OverflowCap == 0 {
+		cfg.OverflowCap = 4096
 	}
 	if cfg.FlushInterval <= 0 {
 		cfg.FlushInterval = 32

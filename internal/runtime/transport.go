@@ -8,9 +8,18 @@ package runtime
 // full ring spills into, and the per-destination send buffers that turn
 // many remote children into one claim-CAS per batch (rq.TryPushBatch).
 //
+// Flow control: the overflow stack is bounded (Config.OverflowCap). A
+// destination whose ring AND overflow are saturated rejects further worker
+// sends, and the rejected tasks flow back to the sender, which keeps them
+// in its own local queue (spill-to-local) — graceful degradation instead of
+// unbounded Treiber growth when one worker falls behind. External Inject
+// bypasses the cap: a Submit must always land somewhere, and the submitting
+// goroutine has no local queue to fall back to.
+//
 // The engine talks to the layer only through the Transport interface, so a
-// test (or an alternative fabric: NUMA-aware rings, a cross-process shim)
-// can replace the whole mechanism without touching the worker loop.
+// test (or an alternative fabric: NUMA-aware rings, a cross-process shim, a
+// chaos-injection wrapper) can replace the whole mechanism without touching
+// the worker loop.
 
 import (
 	"sync/atomic"
@@ -26,17 +35,21 @@ import (
 // called by any number of goroutines concurrently (the Engine.Submit path).
 type Transport interface {
 	// Send queues t for delivery from worker src to worker dst (dst != src).
-	// Delivery may be deferred until a batch fills or Flush runs.
-	Send(src, dst int, t task.Task)
+	// Delivery may be deferred until a batch fills or Flush runs. Tasks
+	// rejected by destination flow control (bounded overflow) are returned
+	// for the caller to keep local; nil means everything was accepted.
+	Send(src, dst int, t task.Task) []task.Task
 	// Pending reports how many tasks src has buffered but not yet shipped.
 	Pending(src int) int
-	// Flush ships every partial batch src has buffered.
-	Flush(src int)
+	// Flush ships every partial batch src has buffered, returning any tasks
+	// rejected by destination flow control (as in Send).
+	Flush(src int) []task.Task
 	// Recv appends every task currently deliverable to worker id onto dst
 	// and returns the extended slice. Owner-only, like a ring drain.
 	Recv(id int, dst []task.Task) []task.Task
 	// Inject delivers ts to worker id from outside the fleet, bypassing the
-	// sender-side batching. Safe for concurrent use from any goroutine.
+	// sender-side batching and the overflow cap (external work must always
+	// land). Safe for concurrent use from any goroutine.
 	Inject(id int, ts []task.Task)
 	// Spills reports how many overflow spills have landed at worker id's
 	// endpoint so far (full-ring flow-control events, for Snapshot).
@@ -44,21 +57,23 @@ type Transport interface {
 }
 
 // ringTransport is the production Transport: one endpoint per worker, each
-// a Vyukov-style MPSC ring plus a Treiber overflow stack, with sender-side
-// per-destination batching.
+// a Vyukov-style MPSC ring plus a bounded Treiber overflow stack, with
+// sender-side per-destination batching.
 type ringTransport struct {
-	batch int
-	rec   *obs.Recorder // nil when observability is disabled
-	eps   []endpoint
+	batch       int
+	overflowCap int64         // max tasks parked in one endpoint's overflow; <=0 unbounded
+	rec         *obs.Recorder // nil when observability is disabled
+	eps         []endpoint
 }
 
 // endpoint is one worker's transport state. The receive side (ring,
 // overflow, spills) is written by remote senders and drained only by the
 // owner; the send side (out, pending) is owned exclusively by the worker.
 type endpoint struct {
-	ring     *rq.Ring
-	overflow overflowStack
-	spills   atomic.Int64
+	ring        *rq.Ring
+	overflow    overflowStack
+	overflowLen atomic.Int64 // tasks currently parked in overflow
+	spills      atomic.Int64
 
 	// out accumulates remote tasks per destination; a buffer ships via
 	// TryPushBatch when it reaches the batch size or on Flush.
@@ -69,10 +84,16 @@ type endpoint struct {
 }
 
 // newRingTransport builds the fabric for `workers` endpoints with rings of
-// ringSize slots and per-destination batches of `batch` tasks. A non-nil
-// rec records overflow-spill events at the destination endpoint.
-func newRingTransport(workers, ringSize, batch int, rec *obs.Recorder) *ringTransport {
-	tr := &ringTransport{batch: batch, rec: rec, eps: make([]endpoint, workers)}
+// ringSize slots, per-destination batches of `batch` tasks, and at most
+// overflowCap tasks parked in any endpoint's overflow (<=0: unbounded). A
+// non-nil rec records overflow-spill events at the destination endpoint.
+func newRingTransport(workers, ringSize, batch, overflowCap int, rec *obs.Recorder) *ringTransport {
+	tr := &ringTransport{
+		batch:       batch,
+		overflowCap: int64(overflowCap),
+		rec:         rec,
+		eps:         make([]endpoint, workers),
+	}
 	for i := range tr.eps {
 		ep := &tr.eps[i]
 		ep.ring = rq.NewRing(ringSize)
@@ -86,41 +107,57 @@ func newRingTransport(workers, ringSize, batch int, rec *obs.Recorder) *ringTran
 	return tr
 }
 
-func (tr *ringTransport) Send(src, dst int, t task.Task) {
+// NewDefaultTransport builds the stock ring transport for a fully defaulted
+// Config — the fabric an engine constructs when Config.NewTransport is nil.
+// Wrappers (fault injection, instrumentation) use it as their inner layer.
+func NewDefaultTransport(cfg Config) Transport {
+	cfg = cfg.withDefaults()
+	return newRingTransport(cfg.Workers, cfg.RingSize, cfg.BatchSize, cfg.OverflowCap, cfg.Obs)
+}
+
+func (tr *ringTransport) Send(src, dst int, t task.Task) []task.Task {
 	ep := &tr.eps[src]
 	ep.out[dst] = append(ep.out[dst], t)
 	ep.pending++
 	if len(ep.out[dst]) >= tr.batch {
-		tr.flushTo(src, dst)
+		return tr.flushTo(src, dst)
 	}
+	return nil
 }
 
 func (tr *ringTransport) Pending(src int) int { return tr.eps[src].pending }
 
-func (tr *ringTransport) Flush(src int) {
+func (tr *ringTransport) Flush(src int) []task.Task {
+	var rejected []task.Task
 	for dst := range tr.eps[src].out {
-		tr.flushTo(src, dst)
+		if rej := tr.flushTo(src, dst); len(rej) > 0 {
+			rejected = append(rejected, rej...)
+		}
 	}
+	return rejected
 }
 
 // flushTo ships one destination's buffered batch: as much as fits through
 // the ring in claim-CAS batches, the remainder spilled to the destination's
-// lock-free overflow stack.
-func (tr *ringTransport) flushTo(src, dst int) {
+// bounded overflow stack. Tasks the destination rejects (overflow at cap)
+// are copied out and returned for the sender to keep local.
+func (tr *ringTransport) flushTo(src, dst int) []task.Task {
 	ep := &tr.eps[src]
 	buf := ep.out[dst]
 	if len(buf) == 0 {
-		return
+		return nil
 	}
-	tr.deliver(dst, buf)
+	rejected := tr.deliver(dst, buf, true)
 	ep.pending -= len(buf)
 	ep.out[dst] = buf[:0]
+	return rejected
 }
 
 // deliver pushes ts into dst's ring, spilling whatever does not fit onto
-// dst's overflow stack. ts is copied (into ring slots or the overflow
-// node), so the caller may reuse it immediately.
-func (tr *ringTransport) deliver(dst int, ts []task.Task) {
+// dst's overflow stack. With bounded set and the overflow at capacity, the
+// spill is refused and the remainder returned instead (copied — the
+// caller's buffer is reused); an unbounded deliver (Inject) always accepts.
+func (tr *ringTransport) deliver(dst int, ts []task.Task, bounded bool) []task.Task {
 	w := &tr.eps[dst]
 	pushed := 0
 	for pushed < len(ts) {
@@ -130,16 +167,26 @@ func (tr *ringTransport) deliver(dst int, ts []task.Task) {
 		}
 		pushed += n
 	}
-	if rest := ts[pushed:]; len(rest) > 0 {
-		// Ring full: park the remainder at the destination. The node copies
-		// the tasks because the caller's buffer is reused.
-		w.overflow.push(&overflowNode{tasks: append([]task.Task(nil), rest...)})
-		w.spills.Add(1)
-		if rec := tr.rec; rec != nil {
-			rec.Add(dst, obs.COverflowSpills, 1)
-			rec.Event(dst, obs.EvSpill, int64(len(rest)), 0, 0)
-		}
+	rest := ts[pushed:]
+	if len(rest) == 0 {
+		return nil
 	}
+	if bounded && tr.overflowCap > 0 && w.overflowLen.Load() >= tr.overflowCap {
+		// Destination saturated: bounce the remainder back to the sender.
+		// The cap check races concurrent spills, so it is a soft bound —
+		// overshoot is at most one in-flight batch per sender.
+		return append([]task.Task(nil), rest...)
+	}
+	// Ring full: park the remainder at the destination. The node copies
+	// the tasks because the caller's buffer is reused.
+	w.overflow.push(&overflowNode{tasks: append([]task.Task(nil), rest...)})
+	w.overflowLen.Add(int64(len(rest)))
+	w.spills.Add(1)
+	if rec := tr.rec; rec != nil {
+		rec.Add(dst, obs.COverflowSpills, 1)
+		rec.Event(dst, obs.EvSpill, int64(len(rest)), 0, 0)
+	}
+	return nil
 }
 
 func (tr *ringTransport) Recv(id int, dst []task.Task) []task.Task {
@@ -148,14 +195,19 @@ func (tr *ringTransport) Recv(id int, dst []task.Task) []task.Task {
 	// A plain load gates the detach: the swap is an RMW on a line remote
 	// senders write, and this runs on every worker-loop iteration.
 	if ep.overflow.head.Load() != nil {
+		var drained int64
 		for node := ep.overflow.takeAll(); node != nil; node = node.next {
 			dst = append(dst, node.tasks...)
+			drained += int64(len(node.tasks))
+		}
+		if drained > 0 {
+			ep.overflowLen.Add(-drained)
 		}
 	}
 	return dst
 }
 
-func (tr *ringTransport) Inject(id int, ts []task.Task) { tr.deliver(id, ts) }
+func (tr *ringTransport) Inject(id int, ts []task.Task) { tr.deliver(id, ts, false) }
 
 func (tr *ringTransport) Spills(id int) int64 { return tr.eps[id].spills.Load() }
 
