@@ -1,0 +1,38 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"hdcps/internal/runtime"
+)
+
+func TestProbeDupSeeds(t *testing.T) {
+	for seed := uint64(1); seed <= 40; seed++ {
+		w := soakWorkload(t)
+		rcfg := runtime.Config{Workers: 4, StallTimeout: 5 * time.Second}
+		e, _ := Engine(w, rcfg, Config{Seed: seed, Duplicate: 0.3})
+		if err := e.Start(); err != nil {
+			t.Fatal(err)
+		}
+		var chk Checker
+		for round := 0; round < 3; round++ {
+			if err := e.Submit(w.InitialTasks()...); err != nil {
+				t.Fatalf("seed %d round %d: %v", seed, round, err)
+			}
+			if err := e.Drain(testCtx(t)); err != nil {
+				t.Fatalf("seed %d round %d: Drain = %v", seed, round, err)
+			}
+			if err := chk.Quiescent(e.Snapshot()); err != nil {
+				t.Fatalf("seed %d round %d: %v", seed, round, err)
+			}
+		}
+		if err := e.Stop(testCtx(t)); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Verify(); err != nil {
+			t.Fatalf("seed %d: verify: %v", seed, err)
+		}
+		chk = Checker{}
+	}
+}
