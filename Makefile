@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build tier1 vet lint race chaos bench bench-smoke bench-native ci
+.PHONY: all build tier1 vet lint race chaos bench bench-smoke bench-gate bench-native ci
 
 all: ci
 
@@ -52,16 +52,24 @@ chaos:
 # package carries BenchmarkNativeRuntime{,Observed}; compare runs with
 # benchstat, see EXPERIMENTS.md.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkRingPush|BenchmarkHeapPushPop|BenchmarkPartition|BenchmarkNativeRuntime' \
+	$(GO) test -run '^$$' -bench 'BenchmarkRingPush|BenchmarkHeapPushPop|BenchmarkPartition|BenchmarkNativeRuntime|BenchmarkQueueDist' \
 		-benchmem . ./internal/rq/ ./internal/pq/ ./internal/bag/ ./internal/runtime/
 
 # Bench smoke: prove every benchmark still runs and the native bench
 # harness still emits a report — a fixed tiny iteration count, not a
 # measurement (CI runs this; use `make bench` + benchstat for numbers).
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkRingPush|BenchmarkHeapPushPop|BenchmarkPartition|BenchmarkNativeRuntime' \
+	$(GO) test -run '^$$' -bench 'BenchmarkRingPush|BenchmarkHeapPushPop|BenchmarkPartition|BenchmarkNativeRuntime|BenchmarkQueueDist' \
 		-benchtime 100x -benchmem . ./internal/rq/ ./internal/pq/ ./internal/bag/ ./internal/runtime/
 	$(GO) run ./cmd/hdcps-bench -native -label smoke -scale tiny -reps 2 -o -
+
+# Bench regression gate: a short native run compared against the newest
+# run recorded in BENCH_native.json. Fails on throughput collapse (beyond
+# 25%% of baseline) or an allocation blow-up, not on ordinary CI-runner
+# drift — see cmd/hdcps-bench's -check flag.
+bench-gate:
+	$(GO) run ./cmd/hdcps-bench -native -label ci-gate -scale tiny -reps 3 \
+		-o /tmp/hdcps-bench-gate.json -check BENCH_native.json -tol 0.25
 
 # Refresh BENCH_native.json for the current tree (label with the short SHA).
 bench-native:

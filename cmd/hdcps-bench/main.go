@@ -11,6 +11,8 @@
 //	hdcps-bench -exp fig8 -scale large -seed 7
 //	hdcps-bench -exp all -par 8      # run the experiment grid on 8 workers
 //	hdcps-bench -native -label pr1 -o BENCH_native.json   # native runtime perf
+//	hdcps-bench -native -label ci -scale tiny -reps 3 -o /tmp/gate.json \
+//	    -check BENCH_native.json -tol 0.25               # CI regression gate
 package main
 
 import (
@@ -39,13 +41,22 @@ func main() {
 		out     = flag.String("o", "BENCH_native.json", "output path for -native (\"-\" for stdout)")
 		workers = flag.Int("workers", 4, "native runtime worker count for -native")
 		reps    = flag.Int("reps", 20, "repetitions per workload for -native")
+		check   = flag.String("check", "", "regression gate: compare the -native run against the latest run in this baseline BENCH_native.json")
+		tol     = flag.Float64("tol", 0.25, "fractional collapse tolerance for -check: fail a workload below (1-tol) of baseline throughput")
 	)
 	flag.Parse()
 
 	if *native {
-		if err := runNativeBench(*label, *scale, *out, *workers, *reps, *seed); err != nil {
+		run, err := runNativeBench(*label, *scale, *out, *workers, *reps, *seed)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "hdcps-bench: native bench failed: %v\n", err)
 			os.Exit(1)
+		}
+		if *check != "" {
+			if err := checkNativeRun(run, *check, *tol); err != nil {
+				fmt.Fprintf(os.Stderr, "hdcps-bench: regression gate failed: %v\n", err)
+				os.Exit(1)
+			}
 		}
 		return
 	}

@@ -6,6 +6,7 @@ import (
 	"os"
 	stdruntime "runtime"
 	"sort"
+	"strings"
 	"time"
 
 	"hdcps/internal/graph"
@@ -65,10 +66,10 @@ func nativeGraph(scale string, seed uint64) (*graph.CSR, string, error) {
 	return nil, "", fmt.Errorf("unknown scale %q (tiny, small, large)", scale)
 }
 
-func runNativeBench(label, scale, out string, workers, reps int, seed uint64) error {
+func runNativeBench(label, scale, out string, workers, reps int, seed uint64) (NativeBenchRun, error) {
 	g, gname, err := nativeGraph(scale, seed)
 	if err != nil {
-		return err
+		return NativeBenchRun{}, err
 	}
 	if workers <= 0 {
 		workers = 4
@@ -92,7 +93,7 @@ func runNativeBench(label, scale, out string, workers, reps int, seed uint64) er
 	for _, name := range workload.Names() {
 		w, err := workload.New(name, g)
 		if err != nil {
-			return err
+			return run, err
 		}
 		// Warm up once (first run pays graph/page faults and heap growth).
 		runtime.Run(w, cfg)
@@ -111,7 +112,7 @@ func runNativeBench(label, scale, out string, workers, reps int, seed uint64) er
 		}
 		stdruntime.ReadMemStats(&ms1)
 		if err := w.Verify(); err != nil {
-			return fmt.Errorf("native bench: %s wrong result: %w", name, err)
+			return run, fmt.Errorf("native bench: %s wrong result: %w", name, err)
 		}
 		sort.Slice(times, func(a, b int) bool { return times[a] < times[b] })
 		m := NativeBenchMeasure{
@@ -142,14 +143,71 @@ func runNativeBench(label, scale, out string, workers, reps int, seed uint64) er
 	doc.Runs = append(doc.Runs, run)
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
-		return err
+		return run, err
 	}
 	buf = append(buf, '\n')
 	if out == "-" {
 		_, err = os.Stdout.Write(buf)
-		return err
+		return run, err
 	}
-	return os.WriteFile(out, buf, 0o644)
+	return run, os.WriteFile(out, buf, 0o644)
+}
+
+// checkNativeRun is the CI bench-regression smoke gate: it compares a fresh
+// run against the newest run recorded in the baseline document and fails
+// only on collapse, not drift — a workload's throughput dropping below
+// (1-tol) of baseline, or its allocation rate blowing past twice the
+// baseline (plus an absolute 0.05 allocs/task floor so a 0-alloc baseline
+// doesn't make any allocation a failure). Workloads present on only one
+// side are ignored; an empty baseline passes vacuously.
+func checkNativeRun(run NativeBenchRun, baselinePath string, tol float64) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var doc NativeBenchDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	if doc.Schema != "hdcps-native-bench/v1" {
+		return fmt.Errorf("baseline %s: unknown schema %q", baselinePath, doc.Schema)
+	}
+	if len(doc.Runs) == 0 {
+		fmt.Fprintf(os.Stderr, "gate: baseline %s has no runs; passing vacuously\n", baselinePath)
+		return nil
+	}
+	base := doc.Runs[len(doc.Runs)-1]
+	baseByWL := make(map[string]NativeBenchMeasure, len(base.Workloads))
+	for _, m := range base.Workloads {
+		baseByWL[m.Workload] = m
+	}
+	var failures []string
+	for _, m := range run.Workloads {
+		b, ok := baseByWL[m.Workload]
+		if !ok {
+			continue
+		}
+		floor := b.TasksPerSec * (1 - tol)
+		allocCap := b.AllocsPerTask*2 + 0.05
+		switch {
+		case m.TasksPerSec < floor:
+			failures = append(failures, fmt.Sprintf(
+				"%s: %.0f tasks/s < %.0f (%.0f%% of %q's %.0f)",
+				m.Workload, m.TasksPerSec, floor, 100*(1-tol), base.Label, b.TasksPerSec))
+		case m.AllocsPerTask > allocCap:
+			failures = append(failures, fmt.Sprintf(
+				"%s: %.3f allocs/task > %.3f (baseline %q: %.3f)",
+				m.Workload, m.AllocsPerTask, allocCap, base.Label, b.AllocsPerTask))
+		default:
+			fmt.Fprintf(os.Stderr, "gate: %-10s OK  %.0f tasks/s vs %q's %.0f (floor %.0f)\n",
+				m.Workload, m.TasksPerSec, base.Label, b.TasksPerSec, floor)
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("throughput collapse vs baseline %q:\n  %s",
+			base.Label, strings.Join(failures, "\n  "))
+	}
+	return nil
 }
 
 // percentile returns the q-quantile of sorted durations (nearest-rank).

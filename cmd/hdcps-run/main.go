@@ -7,6 +7,7 @@
 //
 //	hdcps-run -sched hdcps-sw -workload sssp -input road -cores 40 [-hw] [-scale small]
 //	hdcps-run -sched native -workload sssp -input road -cores 4
+//	hdcps-run -sched native -workload sssp -input road -queue twolevel
 //	hdcps-run -sched native -workload sssp -input road -trace trace.jsonl -metrics :6060
 //	hdcps-run -chaos "seed=42,delay=0.1,dup=0.02,reorder=0.2" -workload sssp -input road
 //	hdcps-run -list
@@ -54,6 +55,7 @@ func main() {
 		trace     = flag.String("trace", "", "write the native runtime's JSONL observability trace here (\"-\" for stdout; -sched native only)")
 		metrics   = flag.String("metrics", "", "serve expvar/pprof/obs debug HTTP on this address during the run, e.g. :6060 (-sched native only)")
 		chaosSpec = flag.String("chaos", "", "run under fault injection with this mix, e.g. \"seed=42,delay=0.1,dup=0.02\" or \"default\" (native runtime only)")
+		queueKind = flag.String("queue", "", "native local-queue shape: heap, dheap, or twolevel (default twolevel; -sched native only)")
 	)
 	flag.Parse()
 
@@ -85,9 +87,12 @@ func main() {
 
 	spec := exec.Spec{Cores: *cores, Seed: *seed, Hardware: *hw}
 	var rec *obs.Recorder
-	if *trace != "" || *metrics != "" {
+	if *trace != "" || *metrics != "" || *queueKind != "" {
 		if !native {
-			fatal(fmt.Errorf("-trace/-metrics need the native runtime (use -sched native)"))
+			fatal(fmt.Errorf("-trace/-metrics/-queue need the native runtime (use -sched native)"))
+		}
+		if *queueKind != "" && !validQueueKind(*queueKind) {
+			fatal(fmt.Errorf("unknown -queue %q (valid: %s)", *queueKind, strings.Join(runtime.QueueKinds(), ", ")))
 		}
 		workers := *cores
 		if workers <= 0 {
@@ -95,8 +100,11 @@ func main() {
 		}
 		cfg := runtime.DefaultConfig(workers)
 		cfg.Seed = *seed
-		rec = obs.New(obs.Config{Workers: workers})
-		cfg.Obs = rec
+		cfg.QueueKind = *queueKind
+		if *trace != "" || *metrics != "" {
+			rec = obs.New(obs.Config{Workers: workers})
+			cfg.Obs = rec
+		}
 		spec.Native = &cfg
 		if *metrics != "" {
 			expvar.Publish("hdcps_obs", expvar.Func(rec.Vars()))
@@ -211,6 +219,15 @@ func writeTrace(path string, rec *obs.Recorder, r stats.Run) error {
 		return err
 	}
 	return obs.WriteControlJSONL(out, obs.ControlSeries(r.DriftTrace, r.RefTrace, r.TDFTrace))
+}
+
+func validQueueKind(kind string) bool {
+	for _, k := range runtime.QueueKinds() {
+		if k == kind {
+			return true
+		}
+	}
+	return false
 }
 
 func mode(native, hw bool) string {

@@ -178,6 +178,10 @@ func NewEngine(w Workload, cfg NativeConfig) *Engine { return runtime.NewEngine(
 // given worker count.
 func DefaultNativeConfig(workers int) NativeConfig { return runtime.DefaultConfig(workers) }
 
+// QueueKinds lists the valid NativeConfig.QueueKind values: the per-worker
+// local-queue shapes of the native runtime ("heap", "dheap", "twolevel").
+func QueueKinds() []string { return runtime.QueueKinds() }
+
 // NewChaosEngine builds an Engine whose transport injects faults from the
 // given mix (see ChaosConfig; chaos.DefaultMix gives the stock mix). The
 // returned transport exposes the injected-fault counts. Use it with

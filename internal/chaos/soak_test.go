@@ -166,6 +166,32 @@ func TestSoakCombined(t *testing.T) {
 	}
 }
 
+// The PR-5 queue matrix: the full fault mix over each local-queue shape
+// with a tiny hot buffer and batched dequeue, so delayed/duplicated/
+// reordered deliveries hammer the two-level spill, refill, and fallback
+// paths while the ledger is checked at every quiescent point.
+func TestSoakQueueKinds(t *testing.T) {
+	for _, kind := range runtime.QueueKinds() {
+		t.Run(kind, func(t *testing.T) {
+			w := soakWorkload(t)
+			_, ct := soak(t, w, runtime.Config{
+				Workers:      4,
+				QueueKind:    kind,
+				HotBufferCap: 6,
+				BatchK:       4,
+			}, DefaultMix(7))
+			st := ct.Stats()
+			if st.DelayedBatches.Load()+st.Duplicates.Load()+st.Reordered.Load()+
+				st.Rejected.Load()+st.Stalls.Load() == 0 {
+				t.Fatal("mix injected nothing")
+			}
+			if err := w.Verify(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
 // Poison mix: faults outlive the retry budget, so tasks quarantine — the
 // run is lossy by design, but the ledger must account for every loss and
 // Drain must still terminate.

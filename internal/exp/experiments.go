@@ -30,6 +30,7 @@ func init() {
 	register(Experiment{"fig15", "Bag-creation threshold sweep (Fig. 15)", fig15})
 	register(Experiment{"motivation", "Ordering spectrum: unordered vs relaxed vs ordered (§II, extension)", motivation})
 	register(Experiment{"drift-timeline", "Native drift/TDF feedback timeline (obs trace)", driftTimeline})
+	register(Experiment{"queue-sweep", "Native local-queue shapes: heap vs dheap vs twolevel", queueSweep})
 }
 
 // runOne executes one (scheduler, pair) combination, verifies the workload

@@ -1,0 +1,87 @@
+package exp
+
+// The queue-sweep experiment measures the native runtime's local-queue
+// shapes (PR 5): the classic binary heap, the PR-1 4-ary heap, and the
+// two-level hPQ-style queue (sorted hot buffer over a monotone bucket cold
+// store) across the paper's workload mix. It reports tasks/second per
+// (queue, workload) cell plus the two-level health counters — hot-buffer
+// spills and bucket-store→heap fallbacks — so the monotone workloads
+// (sssp, bfs) can be seen riding the bucket store while the
+// negative-priority ones (pagerank, color) either fall back or absorb the
+// rewinds, without ever changing the computed answer.
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"hdcps/internal/runtime"
+	"hdcps/internal/workload"
+)
+
+func queueSweep(o Options) (Result, error) {
+	o = o.normalized()
+	set, err := inputs(o)
+	if err != nil {
+		return Result{}, err
+	}
+	pairs := []Pair{
+		{"sssp", "road"}, {"bfs", "road"}, {"pagerank", "web"}, {"color", "web"},
+	}
+	const workers = 4
+	const reps = 3
+	kinds := runtime.QueueKinds()
+
+	res := Result{
+		ID:     "queue-sweep",
+		Title:  "Native local-queue shapes: tasks/sec by workload",
+		Series: kinds,
+	}
+	for _, p := range pairs {
+		row := Row{Label: p.Workload + "/" + p.Input, Values: map[string]float64{}}
+		for _, kind := range kinds {
+			w, err := set.workloadFor(p)
+			if err != nil {
+				return Result{}, err
+			}
+			cfg := runtime.DefaultConfig(workers)
+			cfg.Seed = o.Seed
+			cfg.QueueKind = kind
+			// Warm-up run absorbs first-touch page faults and heap growth.
+			runtime.Run(w, cfg)
+			var tasks int64
+			var total time.Duration
+			for i := 0; i < reps; i++ {
+				nr, snap := runEngineOnce(w, cfg)
+				tasks += nr.TasksProcessed
+				total += nr.Elapsed
+				if kind == runtime.QueueTwoLevel && i == reps-1 {
+					res.Notes = append(res.Notes, fmt.Sprintf(
+						"%s twolevel: %d hot spills, %d fallbacks",
+						row.Label, snap.HotSpills, snap.QueueFallbacks))
+				}
+			}
+			if err := w.Verify(); err != nil {
+				return Result{}, fmt.Errorf("exp: queue-sweep %s/%s wrong: %w", kind, p.Workload, err)
+			}
+			row.Values[kind] = float64(tasks) / total.Seconds()
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"%d workers, %d reps per cell after warm-up; queue kinds: %v", workers, reps, kinds))
+	return res, nil
+}
+
+// runEngineOnce drives one full Submit→Drain→Stop cycle on a fresh engine,
+// returning the run metrics and the final snapshot (runtime.Run alone
+// discards the engine, and with it the queue-health counters).
+func runEngineOnce(w workload.Workload, cfg runtime.Config) (runtime.Result, runtime.Snapshot) {
+	e := runtime.NewEngine(w, cfg)
+	_ = e.Submit(w.InitialTasks()...)
+	_ = e.Start()
+	_ = e.Drain(context.Background())
+	snap := e.Snapshot()
+	_ = e.Stop(context.Background())
+	return e.Result(), snap
+}

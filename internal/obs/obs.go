@@ -59,6 +59,13 @@ const (
 	CDriftClamped      // out-of-range priority reports clamped by control
 	CWorkerRestarts    // worker loops restarted after an engine-level panic
 
+	// Two-level local-queue counters (PR 5): how often the hot buffer
+	// spilled to the cold store, and whether a worker's queue abandoned the
+	// monotone bucket store for the comparison heap (non-monotone priority
+	// stream detected at runtime).
+	CHotSpills      // hot-buffer demotions/bounces into the cold store
+	CQueueFallbacks // bucket-store → heap migrations (0 or 1 per worker)
+
 	numCounters
 )
 
@@ -67,7 +74,7 @@ var counterNames = [numCounters]string{
 	"bags_opened", "overflow_spills", "idle_parks", "drift_reports",
 	"tdf_steps", "tasks_spawned", "bags_retired", "task_panics",
 	"task_retries", "tasks_quarantined", "overflow_redirects",
-	"drift_clamped", "worker_restarts",
+	"drift_clamped", "worker_restarts", "hot_spills", "queue_fallbacks",
 }
 
 // String returns the counter's snake_case export name.

@@ -10,11 +10,17 @@ import (
 
 func impls() map[string]func() Queue {
 	return map[string]func() Queue{
-		"binheap": func() Queue { return NewBinaryHeap(0) },
-		"bucket":  func() Queue { return NewBucketQueue() },
-		"pairing": func() Queue { return NewPairingHeap() },
-		"4-ary":   func() Queue { return NewQuadHeap(0) },
-		"8-ary":   func() Queue { return NewDHeap(8, 0) },
+		"binheap":  func() Queue { return NewBinaryHeap(0) },
+		"bucket":   func() Queue { return NewBucketQueue() },
+		"pairing":  func() Queue { return NewPairingHeap() },
+		"4-ary":    func() Queue { return NewQuadHeap(0) },
+		"8-ary":    func() Queue { return NewDHeap(8, 0) },
+		"twolevel": func() Queue { return NewTwoLevel(TwoLevelConfig{}) },
+		// A tiny hot buffer and bucket ring force the spill, refill, grow,
+		// and fallback paths through the same generic suites.
+		"twolevel-tiny": func() Queue {
+			return NewTwoLevel(TwoLevelConfig{HotCap: 2, MaxBuckets: 64, QuantShift: 1})
+		},
 	}
 }
 
@@ -83,6 +89,9 @@ func TestQueueEquivalence(t *testing.T) {
 			"pairing": NewPairingHeap(),
 			"4-ary":   NewQuadHeap(0),
 			"8-ary":   NewDHeap(8, 0),
+			"twolevel": NewTwoLevel(TwoLevelConfig{
+				HotCap: 4, MaxBuckets: 128, QuantShift: 2,
+			}),
 		}
 		for i, p := range raw {
 			tk := task.Task{Node: uint32(i), Prio: int64(p)}

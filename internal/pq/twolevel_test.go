@@ -1,0 +1,299 @@
+package pq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hdcps/internal/task"
+)
+
+// drainEqual pops both queues to exhaustion and fails on the first
+// divergence in (Node, Prio) — the exact-order contract, not just the
+// priority sequence.
+func drainEqual(t *testing.T, name string, got Queue, ref *BinaryHeap) {
+	t.Helper()
+	for i := 0; ; i++ {
+		want, wok := ref.Pop()
+		have, hok := got.Pop()
+		if wok != hok {
+			t.Fatalf("%s: pop %d: ok=%v, reference ok=%v", name, i, hok, wok)
+		}
+		if !wok {
+			return
+		}
+		if have.Prio != want.Prio || have.Node != want.Node {
+			t.Fatalf("%s: pop %d = (node %d, prio %d), want (node %d, prio %d)",
+				name, i, have.Node, have.Prio, want.Node, want.Prio)
+		}
+	}
+}
+
+// TestTwoLevelExactOrderMonotone pins the tentpole contract on the traffic
+// the bucket store is built for: a delta-stepping-like monotone stream must
+// pop in exactly the order a binary heap would (same node, same priority,
+// every pop), with the cold store never falling back.
+func TestTwoLevelExactOrderMonotone(t *testing.T) {
+	q := NewTwoLevel(TwoLevelConfig{HotCap: 8})
+	ref := NewBinaryHeap(0)
+	rng := rand.New(rand.NewSource(7))
+	push := func(tk task.Task) { q.Push(tk); ref.Push(tk) }
+	push(task.Task{Node: 0, Prio: 0})
+	floor := int64(0)
+	for i := 1; i <= 5000 && ref.Len() > 0; i++ {
+		want, _ := ref.Peek()
+		have, ok := q.Pop()
+		if !ok || have != want {
+			t.Fatalf("pop %d = %+v/%v, want %+v", i, have, ok, want)
+		}
+		ref.Pop()
+		if have.Prio < floor {
+			t.Fatalf("pop %d went backwards: %d after %d", i, have.Prio, floor)
+		}
+		floor = have.Prio
+		if i < 2000 {
+			// Children at or above the parent's priority: the monotone case.
+			for c := 0; c < 1+rng.Intn(3); c++ {
+				push(task.Task{Node: uint32(3*i + c), Prio: floor + int64(rng.Intn(64))})
+			}
+		}
+	}
+	if got := q.Stats().Fallbacks; got != 0 {
+		t.Fatalf("monotone stream tripped the fallback detector (%d)", got)
+	}
+	if q.Stats().Spills == 0 {
+		t.Fatal("an 8-entry hot buffer under thousands of pushes must spill")
+	}
+	drainEqual(t, "monotone-tail", q, ref)
+}
+
+// TestTwoLevelConservationRandom is the no-loss/no-duplication property
+// test: under arbitrary (non-monotone, negative, colliding) priorities the
+// two-level queue pops exactly the reference heap's sequence — which implies
+// the multisets match — across several adversarial configurations.
+func TestTwoLevelConservationRandom(t *testing.T) {
+	cfgs := map[string]TwoLevelConfig{
+		"default":   {},
+		"tiny-hot":  {HotCap: 1},
+		"quantized": {QuantShift: 3},
+		"tiny-ring": {HotCap: 4, MaxBuckets: 64},
+	}
+	for name, cfg := range cfgs {
+		cfg := cfg
+		err := quick.Check(func(raw []int16, popBits []bool) bool {
+			q := NewTwoLevel(cfg)
+			ref := NewBinaryHeap(0)
+			for i, p := range raw {
+				tk := task.Task{Node: uint32(i), Prio: int64(p)}
+				q.Push(tk)
+				ref.Push(tk)
+				// Interleave pops driven by the fuzzed schedule so the
+				// cursor rewinds and refills under partial drain.
+				if i < len(popBits) && popBits[i] {
+					want, wok := ref.Pop()
+					have, hok := q.Pop()
+					if wok != hok || have != want {
+						t.Logf("%s: interleaved pop %d = %+v/%v, want %+v/%v",
+							name, i, have, hok, want, wok)
+						return false
+					}
+				}
+			}
+			for {
+				want, wok := ref.Pop()
+				have, hok := q.Pop()
+				if wok != hok || have != want {
+					t.Logf("%s: drain pop = %+v/%v, want %+v/%v", name, have, hok, want, wok)
+					return false
+				}
+				if !wok {
+					return q.Len() == 0
+				}
+			}
+		}, &quick.Config{MaxCount: 200})
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestTwoLevelFallback drives the two non-monotone detectors: a strictly
+// decreasing stream (every cold push rewinds the cursor) and a priority
+// span wider than MaxBuckets. Both must migrate to the heap exactly once
+// and keep the pop order exact.
+func TestTwoLevelFallback(t *testing.T) {
+	t.Run("rewind-storm", func(t *testing.T) {
+		q := NewTwoLevel(TwoLevelConfig{HotCap: 4})
+		ref := NewBinaryHeap(0)
+		for i := 0; i < 512; i++ {
+			tk := task.Task{Node: uint32(i), Prio: int64(-i)}
+			q.Push(tk)
+			ref.Push(tk)
+		}
+		if got := q.Stats().Fallbacks; got != 1 {
+			t.Fatalf("Fallbacks = %d, want 1 (rewinds %d)", got, q.Stats().Rewinds)
+		}
+		drainEqual(t, "rewind-storm", q, ref)
+	})
+	t.Run("span-overflow", func(t *testing.T) {
+		q := NewTwoLevel(TwoLevelConfig{HotCap: 1, MaxBuckets: 64})
+		ref := NewBinaryHeap(0)
+		// Ascending but exponentially sparse: monotone, yet the resident
+		// span blows past any bucket ring.
+		for i := 0; i < 40; i++ {
+			tk := task.Task{Node: uint32(i), Prio: int64(1) << uint(i)}
+			q.Push(tk)
+			ref.Push(tk)
+		}
+		if got := q.Stats().Fallbacks; got != 1 {
+			t.Fatalf("Fallbacks = %d, want 1", got)
+		}
+		drainEqual(t, "span-overflow", q, ref)
+	})
+}
+
+// TestTwoLevelHotEviction checks the hPQ residency invariant against
+// pq.Bounded's semantics: with PopEx (no refill), the hot buffer always
+// holds the HotCap best tasks and every pop's provenance matches.
+func TestTwoLevelHotEviction(t *testing.T) {
+	const capacity = 8
+	q := NewTwoLevel(TwoLevelConfig{HotCap: capacity})
+	b := NewBounded(capacity)
+	sw := NewBinaryHeap(0)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 4096; i++ {
+		tk := task.Task{Node: uint32(i), Prio: int64(rng.Intn(1 << 14))}
+		q.Push(tk)
+		if ev, spilled := b.Push(tk); spilled {
+			sw.Push(ev)
+		}
+		if rng.Intn(3) == 0 {
+			// Reference composition: pop the better of hPQ front and
+			// software heap front, like the simulator's dequeue.
+			hw, hok := b.Peek()
+			s, sok := sw.Peek()
+			var want task.Task
+			var wantHot bool
+			switch {
+			case hok && (!sok || hw.Less(s)):
+				want, _ = b.Pop()
+				wantHot = true
+			case sok:
+				want, _ = sw.Pop()
+			}
+			have, fromHot, ok := q.PopEx()
+			if !ok || have != want || fromHot != wantHot {
+				t.Fatalf("push %d: PopEx = %+v hot=%v, want %+v hot=%v",
+					i, have, fromHot, want, wantHot)
+			}
+		}
+	}
+	if hl := q.HotLen(); hl != capacity {
+		t.Fatalf("HotLen = %d, want %d", hl, capacity)
+	}
+	if q.Len() != q.HotLen()+q.ColdLen() {
+		t.Fatalf("Len %d != HotLen %d + ColdLen %d", q.Len(), q.HotLen(), q.ColdLen())
+	}
+}
+
+// TestTwoLevelPushCold pins the simulator's bypass path: cold-pushed tasks
+// never enter the hot buffer, yet Pop order stays exact.
+func TestTwoLevelPushCold(t *testing.T) {
+	q := NewTwoLevel(TwoLevelConfig{HotCap: 4})
+	ref := NewBinaryHeap(0)
+	for i := 0; i < 100; i++ {
+		tk := task.Task{Node: uint32(i), Prio: int64((i * 37) % 50)}
+		q.PushCold(tk)
+		ref.Push(tk)
+	}
+	if got := q.HotLen(); got != 0 {
+		t.Fatalf("PushCold leaked %d tasks into the hot buffer", got)
+	}
+	if got := q.ColdLen(); got != 100 {
+		t.Fatalf("ColdLen = %d, want 100", got)
+	}
+	drainEqual(t, "push-cold", q, ref)
+	if q.Stats().Refills == 0 {
+		t.Fatal("draining a cold-only queue via Pop must refill the hot buffer")
+	}
+}
+
+// FuzzTwoLevelVsBinaryHeap feeds a byte-driven op stream (push with varied
+// priority deltas, pop, cold-push) to the two-level queue and the reference
+// heap and requires identical observable behavior.
+func FuzzTwoLevelVsBinaryHeap(f *testing.F) {
+	f.Add([]byte{0x01, 0x42, 0x80, 0xff, 0x00, 0x7f})
+	f.Add([]byte("monotone-ish stream 0123456789"))
+	f.Add([]byte{0xff, 0xfe, 0xfd, 0x10, 0x10, 0x10, 0x80, 0x80})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q := NewTwoLevel(TwoLevelConfig{HotCap: 3, MaxBuckets: 64})
+		ref := NewBinaryHeap(0)
+		prio := int64(0)
+		for i, op := range data {
+			switch op % 4 {
+			case 0: // pop
+				want, wok := ref.Pop()
+				have, hok := q.Pop()
+				if wok != hok || have != want {
+					t.Fatalf("op %d: pop = %+v/%v, want %+v/%v", i, have, hok, want, wok)
+				}
+			case 1, 2: // push with a signed priority delta
+				prio += int64(int8(op)) * int64(1+op%5)
+				tk := task.Task{Node: uint32(i), Prio: prio}
+				q.Push(tk)
+				ref.Push(tk)
+			case 3: // cold-path push
+				tk := task.Task{Node: uint32(i), Prio: prio - int64(op>>2)}
+				q.PushCold(tk)
+				ref.Push(tk)
+			}
+			if q.Len() != ref.Len() {
+				t.Fatalf("op %d: Len = %d, reference %d", i, q.Len(), ref.Len())
+			}
+		}
+		drainEqual(t, "fuzz-drain", q, ref)
+	})
+}
+
+// BenchmarkQueueDist measures the queue shapes under the three adversarial
+// priority distributions of the tentpole: flat (every push collides into
+// few buckets), power-law (skewed like web-graph residuals), and strictly
+// increasing (the pure monotone case the bucket store is built for).
+func BenchmarkQueueDist(b *testing.B) {
+	dists := []struct {
+		name string
+		prio func(i int, rng *rand.Rand) int64
+	}{
+		{"flat", func(i int, rng *rand.Rand) int64 { return int64(rng.Intn(64)) }},
+		{"powerlaw", func(i int, rng *rand.Rand) int64 {
+			return int64(1<<uint(rng.Intn(14))) + int64(rng.Intn(16))
+		}},
+		{"increasing", func(i int, rng *rand.Rand) int64 { return int64(i) }},
+	}
+	shapes := []struct {
+		name string
+		mk   func() Queue
+	}{
+		{"binary", func() Queue { return NewBinaryHeap(1024) }},
+		{"4-ary", func() Queue { return NewQuadHeap(1024) }},
+		{"twolevel", func() Queue { return NewTwoLevel(TwoLevelConfig{}) }},
+	}
+	for _, d := range dists {
+		for _, s := range shapes {
+			b.Run(d.name+"/"+s.name, func(b *testing.B) {
+				q := s.mk()
+				rng := rand.New(rand.NewSource(42))
+				// Pre-fill to the native runtime's steady-state depth.
+				for i := 0; i < 1024; i++ {
+					q.Push(task.Task{Node: uint32(i), Prio: d.prio(i, rng)})
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					q.Push(task.Task{Node: uint32(i), Prio: d.prio(i+1024, rng)})
+					q.Pop()
+				}
+			})
+		}
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"hdcps/internal/bag"
 	"hdcps/internal/graph"
 	"hdcps/internal/obs"
+	"hdcps/internal/pq"
 	"hdcps/internal/task"
 	"hdcps/internal/workload"
 )
@@ -79,6 +80,12 @@ type Engine struct {
 
 	sampleInterval int64
 
+	// off is the workload graph's CSR row-offset array, held so the batched
+	// worker loop can prefetch the next task's row bounds while the current
+	// task's relaxation is still in flight (nil when the workload has no
+	// graph — prefetch is then skipped).
+	off []uint32
+
 	// outstanding counts every task (and bag) emitted but not yet fully
 	// processed; zero means the system is quiescent.
 	outstanding atomic.Int64
@@ -109,7 +116,21 @@ type Engine struct {
 type worker struct {
 	id    int
 	queue LocalQueue
-	rng   *graph.RNG
+	// tl is the devirtualized view of the default local queue: non-nil when
+	// queue is the stock two-level shape, letting the hot loop's push/pop
+	// make direct (inlinable) calls instead of interface dispatch per task.
+	// Custom or heap-backed queues take the interface path (qpush/qpop).
+	tl  *pq.TwoLevel
+	rng *graph.RNG
+
+	// batch is the dequeue batch (Config.BatchK): the loop pops up to
+	// len(batch) tasks and processes them back to back, prefetching the
+	// next task's CSR row between items. batchPos/batchLen let a worker
+	// restart (runWorkerGuarded) requeue the not-yet-started tail so a
+	// mid-batch crash strands no tasks.
+	batch    []task.Task
+	batchPos int
+	batchLen int
 
 	// store holds this worker's outgoing bag payloads (pull transport): the
 	// consumer resolves the metadata's Data field against it and releases
@@ -140,6 +161,14 @@ type worker struct {
 	sinceReport int64
 	sinceFlush  int
 
+	// acct accumulates this worker's pending retirement decrements (-1 per
+	// childless task or unpacked bag) between batch boundaries, where they
+	// flush into the shared outstanding count as one atomic add. Deferring
+	// only the negative side keeps the termination invariant: outstanding
+	// reads high, never falsely zero, while work exists. runWorker's exit
+	// path flushes it, so a panic cannot strand the count.
+	acct int64
+
 	// parked is set while the worker blocks in the park/wake handshake
 	// (StallError diagnostics read it).
 	parked atomic.Bool
@@ -156,9 +185,33 @@ type worker struct {
 	pubSpawned     *atomic.Int64
 	pubBagsRetired *atomic.Int64
 	pubRedirects   *atomic.Int64
-	pubLocal       [7]atomic.Int64
+	pubHotSpills   *atomic.Int64
+	pubFallbacks   *atomic.Int64
+	pubLocal       [9]atomic.Int64
+
+	// prefetchSink receives the batched loop's CSR-offset loads; writing
+	// them to a field keeps the loads from being dead-code-eliminated.
+	prefetchSink uint32
 
 	_pad [4]int64 // reduce false sharing between workers
+}
+
+// qpush and qpop route the worker's local-queue traffic through the
+// devirtualized two-level queue when it is in use, or the LocalQueue
+// interface otherwise.
+func (me *worker) qpush(t task.Task) {
+	if me.tl != nil {
+		me.tl.Push(t)
+		return
+	}
+	me.queue.Push(t)
+}
+
+func (me *worker) qpop() (task.Task, bool) {
+	if me.tl != nil {
+		return me.tl.Pop()
+	}
+	return me.queue.Pop()
 }
 
 // publish mirrors the worker-local counters into their atomic shadows.
@@ -170,6 +223,11 @@ func (me *worker) publish() {
 	me.pubSpawned.Store(me.spawned)
 	me.pubBagsRetired.Store(me.bagsRetired)
 	me.pubRedirects.Store(me.redirects)
+	if me.tl != nil {
+		st := me.tl.Stats()
+		me.pubHotSpills.Store(st.Spills)
+		me.pubFallbacks.Store(st.Fallbacks)
+	}
 }
 
 // NewEngine builds an engine over w (which is Reset) with cfg defaults
@@ -188,6 +246,9 @@ func NewEngine(w workload.Workload, cfg Config) *Engine {
 	}
 	e.cond = sync.NewCond(&e.mu)
 	e.sampleInterval = e.control.SampleInterval()
+	if g := w.Graph(); g != nil {
+		e.off = g.Off
+	}
 	if cfg.NewTransport != nil {
 		e.transport = cfg.NewTransport(cfg)
 	} else {
@@ -198,7 +259,9 @@ func NewEngine(w workload.Workload, cfg Config) *Engine {
 		me := &e.workers[i]
 		me.id = i
 		me.queue = newLocalQueue(cfg)
+		me.tl, _ = me.queue.(*pq.TwoLevel)
 		me.rng = graph.NewRNG(cfg.Seed + uint64(i)*0x9e3779b9)
+		me.batch = make([]task.Task, cfg.BatchK)
 		me.children = make([]task.Task, 0, 16)
 		// One closure for the whole engine, so Process calls do not allocate
 		// a fresh emit callback per task.
@@ -217,6 +280,8 @@ func NewEngine(w workload.Workload, cfg Config) *Engine {
 			me.pubSpawned = rec.CounterSlot(i, obs.CTasksSpawned)
 			me.pubBagsRetired = rec.CounterSlot(i, obs.CBagsRetired)
 			me.pubRedirects = rec.CounterSlot(i, obs.COverflowRedirects)
+			me.pubHotSpills = rec.CounterSlot(i, obs.CHotSpills)
+			me.pubFallbacks = rec.CounterSlot(i, obs.CQueueFallbacks)
 		} else {
 			me.pubProcessed = &me.pubLocal[0]
 			me.pubBags = &me.pubLocal[1]
@@ -225,6 +290,8 @@ func NewEngine(w workload.Workload, cfg Config) *Engine {
 			me.pubSpawned = &me.pubLocal[4]
 			me.pubBagsRetired = &me.pubLocal[5]
 			me.pubRedirects = &me.pubLocal[6]
+			me.pubHotSpills = &me.pubLocal[7]
+			me.pubFallbacks = &me.pubLocal[8]
 		}
 	}
 	if cfg.Obs != nil {
@@ -337,7 +404,7 @@ func (e *Engine) submitIdle(ts []task.Task) bool {
 	}
 	n := len(e.workers)
 	for i, t := range ts {
-		e.workers[i%n].queue.Push(t)
+		e.workers[i%n].qpush(t)
 	}
 	e.epoch.Add(1)
 	return true
@@ -525,7 +592,7 @@ func (e *Engine) flush(me *worker) {
 // were already counted when they were spawned.
 func (e *Engine) redirect(me *worker, ts []task.Task) {
 	for _, t := range ts {
-		me.queue.Push(t)
+		me.qpush(t)
 	}
 	me.redirects += int64(len(ts))
 	me.pubRedirects.Store(me.redirects)
@@ -559,7 +626,26 @@ func (e *Engine) runWorkerGuarded(id int) (clean bool) {
 
 func (e *Engine) runWorker(id int) {
 	me := &e.workers[id]
-	defer me.publish()
+	defer func() {
+		// Counters first, then the deferred retirements: a reader that sees
+		// outstanding drop must already see the processed totals behind it.
+		me.publish()
+		if me.acct != 0 {
+			e.account(me.acct)
+			me.acct = 0
+		}
+	}()
+	// A restarted worker may have died mid-batch: requeue the popped but
+	// not-yet-started tail so the crash strands no tasks. The task at
+	// batchPos was in flight when the loop died; like the pre-batching
+	// single-task loop, its accounting was already preserved by processOne's
+	// ordering, so only the untouched tail needs to go back.
+	if me.batchLen > 0 {
+		for _, t := range me.batch[me.batchPos+1 : me.batchLen] {
+			me.qpush(t)
+		}
+		me.batchPos, me.batchLen = 0, 0
+	}
 	buf := make([]task.Task, 0, 64)
 	idle := 0
 	for {
@@ -569,11 +655,24 @@ func (e *Engine) runWorker(id int) {
 		// Drain the receive side (ring + spilled batches) into the queue.
 		buf = e.recv(id, buf[:0])
 		for _, t := range buf {
-			me.queue.Push(t)
+			me.qpush(t)
 		}
 
-		t, ok := me.queue.Pop()
-		if !ok {
+		// Batched dequeue: pop up to BatchK tasks and process them back to
+		// back. The batch amortizes the stop/recv/flush checks and gives the
+		// loop a known next task whose CSR row it can prefetch; the cost is
+		// bounded priority relaxation (a child of batch[i] cannot preempt
+		// batch[i+1:], at most BatchK-1 tasks of it).
+		n := 0
+		for n < len(me.batch) {
+			t, ok := me.qpop()
+			if !ok {
+				break
+			}
+			me.batch[n] = t
+			n++
+		}
+		if n == 0 {
 			if e.pending(id) > 0 {
 				// Out of local work: ship every partial batch before idling
 				// so no task waits on this worker's buffers.
@@ -589,10 +688,13 @@ func (e *Engine) runWorker(id int) {
 				idle = 0
 				continue
 			}
-			// Publish on the idle path so a worker waiting out another
-			// worker's tail never holds counters stale for long (the hot
-			// loop only republishes at flush boundaries).
-			me.publish()
+			// Publish once on idle entry so a worker waiting out another
+			// worker's tail never holds counters stale (the hot loop only
+			// republishes at flush boundaries). Later idle iterations skip
+			// the stores: an empty-queue spin cannot change any counter.
+			if idle == 0 {
+				me.publish()
+			}
 			// Adaptive backoff: re-poll hot for a moment (work often lands
 			// within a few hundred ns), then yield the P so the workers
 			// holding tasks can run, then park briefly so an idle worker
@@ -609,25 +711,44 @@ func (e *Engine) runWorker(id int) {
 		}
 		idle = 0
 
-		if t.Node == bagMarker {
-			owner, idx := int(t.Data>>32), uint32(t.Data)
-			st := &e.workers[owner].store
-			s := st.get(idx)
-			if rec := e.obs; rec != nil {
-				rec.Add(id, obs.CBagsOpened, 1)
-				rec.Event(id, obs.EvBagOpened, int64(len(s.tasks)), 0, 0)
+		me.batchLen = n
+		for i := 0; i < n; i++ {
+			me.batchPos = i
+			if i+1 < n {
+				e.prefetchRow(me, me.batch[i+1].Node)
 			}
-			for _, bt := range s.tasks {
-				e.processOne(id, me, bt)
+			t := me.batch[i]
+			if t.Node == bagMarker {
+				owner, idx := int(t.Data>>32), uint32(t.Data)
+				st := &e.workers[owner].store
+				s := st.get(idx)
+				if rec := e.obs; rec != nil {
+					rec.Add(id, obs.CBagsOpened, 1)
+					rec.Event(id, obs.EvBagOpened, int64(len(s.tasks)), 0, 0)
+				}
+				for _, bt := range s.tasks {
+					e.processOne(id, me, bt)
+				}
+				st.release(s)
+				// Publish the bag's retirement before it leaves the
+				// outstanding count, mirroring pubProcessed's ordering
+				// (conservation ledger).
+				me.bagsRetired++
+				me.pubBagsRetired.Store(me.bagsRetired)
+				me.acct-- // the bag itself; flushed at the batch boundary
+			} else {
+				e.processOne(id, me, t)
 			}
-			st.release(s)
-			// Publish the bag's retirement before it leaves the outstanding
-			// count, mirroring pubProcessed's ordering (conservation ledger).
-			me.bagsRetired++
-			me.pubBagsRetired.Store(me.bagsRetired)
-			e.account(-1) // the bag itself
-		} else {
-			e.processOne(id, me, t)
+		}
+		me.batchLen = 0
+		// Flush the batch's accumulated retirements in one shared atomic —
+		// the batched loop's other throughput lever besides the prefetch:
+		// up to BatchK childless tasks retire for the price of one
+		// outstanding.Add (and one pubProcessed store) instead of one each.
+		if me.acct != 0 {
+			me.pubProcessed.Store(me.processed)
+			e.account(me.acct)
+			me.acct = 0
 		}
 
 		if me.sinceFlush >= e.cfg.FlushInterval && e.pending(id) > 0 {
@@ -635,6 +756,15 @@ func (e *Engine) runWorker(id int) {
 			me.sinceFlush = 0
 			me.publish()
 		}
+	}
+}
+
+// prefetchRow touches the next batched task's CSR row bounds so the offset
+// line is resident by the time processing reaches that task. The summed
+// loads land in prefetchSink to keep them alive past the optimizer.
+func (e *Engine) prefetchRow(me *worker, n graph.NodeID) {
+	if i := int(n); i+1 < len(e.off) {
+		me.prefetchSink = e.off[i] + e.off[i+1]
 	}
 }
 
@@ -673,7 +803,7 @@ func (e *Engine) handleFault(id int, me *worker, t task.Task, pv any) {
 			// brief stall here beats a timer wheel on the happy path.
 			time.Sleep(time.Duration(attempt) * b)
 		}
-		me.queue.Push(t) // still outstanding; retried by this worker
+		me.qpush(t) // still outstanding; retried by this worker
 		return
 	}
 	if rec := e.obs; rec != nil {
@@ -682,6 +812,7 @@ func (e *Engine) handleFault(id int, me *worker, t task.Task, pv any) {
 	}
 	// The quarantine record is in the ledger (recordPanic) before the task
 	// leaves the outstanding count, mirroring pubProcessed's ordering.
+	me.pubProcessed.Store(me.processed)
 	e.account(-1)
 }
 
@@ -701,28 +832,33 @@ func (e *Engine) processOne(id int, me *worker, t task.Task) {
 	}
 	me.edges += int64(edges)
 	me.processed++
-	// Publish the processed total BEFORE this task can leave `outstanding`
-	// (the account calls below): any reader that sees the retirement also
-	// sees the count, which is the ordering Snapshot's coherence contract
-	// relies on. An uncontended atomic store on the worker's own line.
-	me.pubProcessed.Store(me.processed)
 	// With a recorder attached pubProcessed IS the recorder's counter slot,
 	// so only the sampled trace path remains to record here.
 	if m := e.obsMask; m >= 0 && me.processed&m == 0 {
 		e.obs.TaskSample(id, t.Prio, me.processed, me.edges)
 	}
 
-	// Account all new work and retire this task in one shared atomic; the
-	// increment lands before any child becomes visible, so outstanding can
-	// never dip to zero while work exists. The spawned total is published
-	// first so the conservation ledger's add side is never behind the
-	// outstanding count it explains.
+	// Account all new work, retire this task, and settle any batch-deferred
+	// retirements in one shared atomic; the increment lands before any child
+	// becomes visible, so outstanding can never dip to zero while work
+	// exists (the deferred deltas are all negative, and the children being
+	// added here keep the post-add count strictly positive). The spawned
+	// total is published first so the conservation ledger's add side is
+	// never behind the outstanding count it explains. A childless task just
+	// deepens the batch deficit — no atomic at all.
 	if len(me.children) > 0 {
 		bags, singles := me.part.Partition(me.children, e.cfg.Bags, me.newBagID)
 		spawned := int64(len(bags)) + int64(countTasks(bags)) + int64(len(singles))
 		me.spawned += spawned
 		me.pubSpawned.Store(me.spawned)
-		e.account(spawned - 1)
+		// Publish the processed total BEFORE any task can leave
+		// `outstanding`: a reader that sees a retirement also sees the
+		// count (Snapshot's coherence contract). Retirement is only
+		// observable at account() calls, so the batched loop pays this
+		// store once per spawning task and once per batch, not per task.
+		me.pubProcessed.Store(me.processed)
+		e.account(spawned - 1 + me.acct)
+		me.acct = 0
 		for _, b := range bags {
 			me.bags++
 			s := me.store.get(uint32(b.ID))
@@ -738,7 +874,7 @@ func (e *Engine) processOne(id int, me *worker, t task.Task) {
 			e.dispatch(id, me, c)
 		}
 	} else {
-		e.account(-1)
+		me.acct--
 	}
 
 	// Drift reporting (Algorithm 3's send threshold).
@@ -771,7 +907,7 @@ func (e *Engine) dispatch(id int, me *worker, t task.Task) {
 		dst = d
 	}
 	if dst == id {
-		me.queue.Push(t)
+		me.qpush(t)
 		return
 	}
 	e.send(me, dst, t)
@@ -822,6 +958,13 @@ type Snapshot struct {
 	Quarantined int64 // poison tasks retired into Engine.Quarantined
 	Redirects   int64 // flow-control bounces kept local (degradation signal)
 
+	// Two-level local-queue health (zero when QueueKind is not twolevel):
+	// HotSpills counts hot-buffer demotions into the cold store, and
+	// QueueFallbacks counts workers whose bucket store migrated to the heap
+	// because the priority stream proved non-monotone.
+	HotSpills      int64
+	QueueFallbacks int64
+
 	Workers []WorkerStats
 }
 
@@ -858,6 +1001,8 @@ func (e *Engine) Snapshot() Snapshot {
 		s.Spawned += me.pubSpawned.Load()
 		s.BagsRetired += me.pubBagsRetired.Load()
 		s.Redirects += ws.Redirects
+		s.HotSpills += me.pubHotSpills.Load()
+		s.QueueFallbacks += me.pubFallbacks.Load()
 	}
 	return s
 }
@@ -881,10 +1026,15 @@ func (e *Engine) Result() Result {
 		res.BagsCreated += me.pubBags.Load()
 		res.EdgesExamined += me.pubEdges.Load()
 	}
-	for _, rec := range e.control.History() {
-		res.DriftTrace = append(res.DriftTrace, rec.Drift)
-		res.RefTrace = append(res.RefTrace, rec.Ref)
-		res.TDFTrace = append(res.TDFTrace, rec.TDF)
+	if hist := e.control.History(); len(hist) > 0 {
+		res.DriftTrace = make([]float64, 0, len(hist))
+		res.RefTrace = make([]int64, 0, len(hist))
+		res.TDFTrace = make([]int, 0, len(hist))
+		for _, rec := range hist {
+			res.DriftTrace = append(res.DriftTrace, rec.Drift)
+			res.RefTrace = append(res.RefTrace, rec.Ref)
+			res.TDFTrace = append(res.TDFTrace, rec.TDF)
+		}
 	}
 	return res
 }

@@ -4,7 +4,7 @@ package runtime
 // tasks drained from the transport land here, and the worker always
 // processes its locally-highest-priority task next. The queue is private to
 // one goroutine, so any pq.Queue implementation works without locks; the
-// policy knob is which heap shape backs it.
+// policy knob is which shape backs it.
 
 import "hdcps/internal/pq"
 
@@ -12,16 +12,44 @@ import "hdcps/internal/pq"
 // exactly pq.Queue — single-owner, no internal synchronization.
 type LocalQueue = pq.Queue
 
+// Local-queue kinds accepted by Config.QueueKind (see QueueKinds).
+const (
+	// QueueTwoLevel is the default: the paper's hPQ-style two-level queue —
+	// a sorted hot buffer (Config.HotBufferCap entries) spilling into a
+	// monotone bucket cold store, with automatic runtime fallback to a
+	// d-ary heap when the priority stream turns out non-monotone.
+	QueueTwoLevel = "twolevel"
+	// QueueDHeap is the PR-1 flat d-ary heap of Config.HeapArity.
+	QueueDHeap = "dheap"
+	// QueueHeap is the classic binary heap (HeapArity 2 shorthand).
+	QueueHeap = "heap"
+)
+
+// QueueKinds lists the valid Config.QueueKind values.
+func QueueKinds() []string {
+	return []string{QueueHeap, QueueDHeap, QueueTwoLevel}
+}
+
 // newLocalQueue builds one worker's queue from the configured policy:
-// Config.Queue when set (the pluggable hook), else a d-ary heap of
-// Config.HeapArity (2 keeps the classic binary heap the simulator's cost
-// model charges for; the default 4 is the cache-friendly choice).
+// Config.Queue when set (the pluggable hook), else the shape named by
+// Config.QueueKind. The engine's hot path devirtualizes the two-level
+// shape (worker.tl), so the interface boxing here is paid once per worker.
 func newLocalQueue(cfg Config) LocalQueue {
 	if cfg.Queue != nil {
 		return cfg.Queue()
 	}
-	if cfg.HeapArity == 2 {
+	switch cfg.QueueKind {
+	case QueueHeap:
 		return pq.NewBinaryHeap(64)
+	case QueueDHeap:
+		if cfg.HeapArity == 2 {
+			return pq.NewBinaryHeap(64)
+		}
+		return pq.NewDHeap(cfg.HeapArity, 64)
+	default:
+		return pq.NewTwoLevel(pq.TwoLevelConfig{
+			HotCap: cfg.HotBufferCap,
+			Arity:  cfg.HeapArity,
+		})
 	}
-	return pq.NewDHeap(cfg.HeapArity, 64)
 }

@@ -1,0 +1,247 @@
+package runtime
+
+// PR-5 coverage: the two-level local queue behind the engine (QueueKind
+// selection, spill/fallback counters) and the batched dequeue→process loop
+// (restart-requeue of an interrupted batch, correctness across workloads
+// and batch sizes).
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"hdcps/internal/graph"
+	"hdcps/internal/pq"
+	"hdcps/internal/task"
+	"hdcps/internal/workload"
+)
+
+// TestQueueKindSelection pins the QueueKind → concrete queue mapping,
+// including the devirtualized tl view the engine's hot path relies on.
+func TestQueueKindSelection(t *testing.T) {
+	cases := []struct {
+		cfg      Config
+		twoLevel bool
+	}{
+		{Config{}, true},
+		{Config{QueueKind: QueueTwoLevel, HotBufferCap: 16}, true},
+		{Config{QueueKind: QueueHeap}, false},
+		{Config{QueueKind: QueueDHeap}, false},
+		{Config{QueueKind: QueueDHeap, HeapArity: 2}, false},
+		{Config{Queue: func() LocalQueue { return pq.NewBinaryHeap(8) }}, false},
+	}
+	for _, c := range cases {
+		q := newLocalQueue(c.cfg.withDefaults())
+		_, isTL := q.(*pq.TwoLevel)
+		if isTL != c.twoLevel {
+			t.Errorf("QueueKind %q: twolevel=%v, want %v", c.cfg.QueueKind, isTL, c.twoLevel)
+		}
+		// Whatever the shape, it must behave as a priority queue.
+		q.Push(task.Task{Node: 2, Prio: 20})
+		q.Push(task.Task{Node: 1, Prio: 10})
+		if got, ok := q.Pop(); !ok || got.Node != 1 {
+			t.Errorf("QueueKind %q: first pop = %+v/%v, want node 1", c.cfg.QueueKind, got, ok)
+		}
+	}
+}
+
+// TestEngineQueueKinds runs every workload to completion under each queue
+// kind and a range of batch sizes: results must verify exactly and the
+// conservation ledger must balance regardless of the queue shape.
+func TestEngineQueueKinds(t *testing.T) {
+	road := graph.Road(24, 24, 3)
+	web := graph.Web(400, 5)
+	cases := []struct {
+		wl string
+		g  *graph.CSR
+	}{
+		{"sssp", road}, {"bfs", road}, {"astar", road},
+		{"color", web}, {"pagerank", web},
+	}
+	for _, kind := range QueueKinds() {
+		for _, batchK := range []int{1, 8} {
+			for _, c := range cases {
+				w, err := workload.New(c.wl, c.g)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := DefaultConfig(4)
+				cfg.QueueKind = kind
+				cfg.BatchK = batchK
+				res := Run(w, cfg)
+				if err := w.Verify(); err != nil {
+					t.Errorf("%s/%s/batch%d: %v", kind, c.wl, batchK, err)
+				}
+				if res.TasksProcessed <= 0 {
+					t.Errorf("%s/%s/batch%d: no tasks processed", kind, c.wl, batchK)
+				}
+			}
+		}
+	}
+}
+
+// TestEngineQueueCounters checks the two-level health counters end to end:
+// a monotone workload (sssp) must spill without falling back, while the
+// negative-priority workloads (pagerank, color) must trip the fallback
+// detector on at least one worker — and never lose work doing it.
+func TestEngineQueueCounters(t *testing.T) {
+	t.Run("monotone-spills", func(t *testing.T) {
+		w, err := workload.New("sssp", graph.Road(48, 48, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := NewEngine(w, DefaultConfig(4))
+		_ = e.Submit(w.InitialTasks()...)
+		_ = e.Start()
+		if err := e.Drain(testCtx(t)); err != nil {
+			t.Fatal(err)
+		}
+		snap := e.Snapshot()
+		_ = e.Stop(testCtx(t))
+		if err := w.Verify(); err != nil {
+			t.Fatal(err)
+		}
+		if snap.HotSpills == 0 {
+			t.Error("sssp on a 48x48 grid never spilled a 48-entry hot buffer")
+		}
+	})
+	t.Run("anti-monotone-fallback", func(t *testing.T) {
+		// A strictly decreasing priority stream (every child below its
+		// parent) is the bucket store's worst case: the rewind storm must
+		// migrate the queue to the fallback heap — and lose nothing.
+		w := &antiMonotoneWorkload{depth: 4096}
+		cfg := Config{Workers: 1, HotBufferCap: 4}
+		e := NewEngine(w, cfg)
+		_ = e.Submit(w.InitialTasks()...)
+		_ = e.Start()
+		if err := e.Drain(testCtx(t)); err != nil {
+			t.Fatal(err)
+		}
+		snap := e.Snapshot()
+		_ = e.Stop(testCtx(t))
+		if snap.QueueFallbacks == 0 {
+			t.Error("a strictly decreasing stream never tripped the bucket-store fallback")
+		}
+		if got := w.processed.Load(); got != int64(w.depth)+1 {
+			t.Errorf("processed %d tasks, want %d (no loss across the migration)", got, w.depth+1)
+		}
+		if snap.Outstanding != 0 {
+			t.Errorf("outstanding %d after drain", snap.Outstanding)
+		}
+	})
+}
+
+// antiMonotoneWorkload spawns a wide frontier whose priorities strictly
+// decrease with depth — the adversarial stream for a monotone bucket store.
+// Node n at priority -n spawns children n+1..n+3 (capped at depth), so the
+// queue holds many tasks while every push rewinds below the current front.
+type antiMonotoneWorkload struct {
+	depth     int
+	processed atomic.Int64
+	seen      []atomic.Bool
+}
+
+func (w *antiMonotoneWorkload) Name() string      { return "anti-monotone" }
+func (w *antiMonotoneWorkload) Graph() *graph.CSR { return nil }
+func (w *antiMonotoneWorkload) Reset() {
+	w.processed.Store(0)
+	w.seen = make([]atomic.Bool, w.depth+1)
+}
+func (w *antiMonotoneWorkload) InitialTasks() []task.Task {
+	return []task.Task{{Node: 0, Prio: 0}}
+}
+func (w *antiMonotoneWorkload) Process(t task.Task, emit func(task.Task)) int {
+	if w.seen[t.Node].Swap(true) {
+		return 0 // duplicate: already expanded
+	}
+	w.processed.Add(1)
+	for c := int(t.Node) + 1; c <= int(t.Node)+3 && c <= w.depth; c++ {
+		emit(task.Task{Node: graph.NodeID(c), Prio: -int64(c)})
+	}
+	return 1
+}
+func (w *antiMonotoneWorkload) Clone() workload.Workload {
+	return &antiMonotoneWorkload{depth: w.depth}
+}
+func (w *antiMonotoneWorkload) Verify() error { return nil }
+
+// TestBatchRestartRequeue pins the restart-requeue contract directly: a
+// worker that dies mid-batch must, on restart, put the popped but
+// not-yet-started tail back into its queue — and not the in-flight task.
+func TestBatchRestartRequeue(t *testing.T) {
+	w, err := workload.New("sssp", graph.Road(4, 4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(w, Config{Workers: 1, BatchK: 8})
+	me := &e.workers[0]
+	for i := 0; i < 4; i++ {
+		me.batch[i] = task.Task{Node: graph.NodeID(i), Prio: int64(i)}
+	}
+	// Simulate a crash while processing batch[1]: 0 done, 1 in flight.
+	me.batchPos, me.batchLen = 1, 4
+	e.stop.Store(true) // the restarted loop must exit right after the requeue
+	e.runWorker(0)
+	if me.batchLen != 0 {
+		t.Fatalf("batchLen = %d after restart, want 0", me.batchLen)
+	}
+	var got []graph.NodeID
+	for {
+		tk, ok := me.qpop()
+		if !ok {
+			break
+		}
+		got = append(got, tk.Node)
+	}
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("requeued tail = %v, want [2 3]", got)
+	}
+}
+
+// panicOnceTransport wraps the stock transport and panics out of one Recv
+// call mid-run: an engine-internal fault (not a task panic), which must
+// restart the worker loop, not kill it — and the run must still finish
+// exactly.
+type panicOnceTransport struct {
+	Transport
+	recvs    atomic.Int64
+	panicked atomic.Bool
+}
+
+func (p *panicOnceTransport) Recv(id int, dst []task.Task) []task.Task {
+	if p.recvs.Add(1) == 40 && p.panicked.CompareAndSwap(false, true) {
+		panic("injected transport fault")
+	}
+	return p.Transport.Recv(id, dst)
+}
+
+// TestEngineRestartMidRun injects one engine-level panic into a running
+// batched fleet: the worker restarts (Snapshot still coherent, restart
+// counted) and the workload completes with an exact result.
+func TestEngineRestartMidRun(t *testing.T) {
+	w, err := workload.New("bfs", graph.Road(48, 48, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := &panicOnceTransport{}
+	cfg := DefaultConfig(4)
+	cfg.NewTransport = func(c Config) Transport {
+		pt.Transport = newRingTransport(c.Workers, c.RingSize, c.BatchSize, c.OverflowCap, c.Obs)
+		return pt
+	}
+	e := NewEngine(w, cfg)
+	_ = e.Submit(w.InitialTasks()...)
+	_ = e.Start()
+	if err := e.Drain(testCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	_ = e.Stop(testCtx(t))
+	if err := w.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if !pt.panicked.Load() {
+		t.Skip("fleet drained before the fault window (timing-dependent)")
+	}
+	if got := e.faults.restarts.Load(); got != 1 {
+		t.Errorf("worker restarts = %d, want 1", got)
+	}
+}

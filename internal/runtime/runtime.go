@@ -29,6 +29,7 @@ package runtime
 
 import (
 	"context"
+	stdruntime "runtime"
 	"time"
 
 	"hdcps/internal/bag"
@@ -54,9 +55,20 @@ type Config struct {
 	// Seed makes destination selection reproducible per worker.
 	Seed uint64
 
-	// HeapArity selects the private priority queue: 2 is the classic binary
-	// heap (what the simulator's cost model charges for), anything else is a
-	// d-ary heap of that arity. 0 defaults to 4, the cache-friendly choice.
+	// QueueKind selects the per-worker local queue shape: QueueTwoLevel
+	// (the default — the paper's hPQ-style hot buffer over a monotone
+	// bucket cold store, with runtime fallback to a d-ary heap on
+	// non-monotone priority streams), QueueDHeap (the PR-1 d-ary heap of
+	// HeapArity), or QueueHeap (a classic binary heap). Unknown values
+	// select the default.
+	QueueKind string
+	// HotBufferCap sizes the two-level queue's hot buffer (QueueTwoLevel
+	// only). 0 defaults to 48, the paper's hPQ capacity (§III-D).
+	HotBufferCap int
+	// HeapArity selects the d-ary local queue's branching factor when
+	// QueueKind is QueueDHeap (2 is the classic binary heap the simulator's
+	// cost model charges for) and the two-level queue's fallback heap.
+	// 0 defaults to 4, the cache-friendly choice.
 	HeapArity int
 	// Queue, when non-nil, overrides HeapArity with a custom per-worker
 	// local queue (the pluggable local-queue layer; called once per worker).
@@ -91,6 +103,13 @@ type Config struct {
 	// the watchdog (Drain then bounds its wait with ctx alone).
 	StallTimeout time.Duration
 
+	// BatchK is the worker loop's dequeue batch: up to this many tasks are
+	// popped and processed back to back, letting the loop prefetch the next
+	// task's CSR row and amortize the per-iteration stop/recv/flush checks.
+	// The cost is bounded extra relaxation (a child of batch[i] cannot
+	// preempt the rest of the batch). 0 defaults to 8; 1 restores the
+	// pop-one semantics.
+	BatchK int
 	// BatchSize is the per-destination dispatch buffer: remote children
 	// accumulate until BatchSize are ready, then ship with a single
 	// claim-CAS (rq.TryPushBatch). 0 defaults to 16.
@@ -118,8 +137,17 @@ func (cfg Config) withDefaults() Config {
 	if cfg.Bags.Mode != bag.Never && cfg.Bags.MaxSize == 0 {
 		cfg.Bags = bag.DefaultPolicy()
 	}
+	if cfg.QueueKind == "" {
+		cfg.QueueKind = QueueTwoLevel
+	}
+	if cfg.HotBufferCap <= 0 {
+		cfg.HotBufferCap = 48
+	}
 	if cfg.HeapArity <= 0 {
 		cfg.HeapArity = 4
+	}
+	if cfg.BatchK <= 0 {
+		cfg.BatchK = 8
 	}
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = 16
@@ -132,6 +160,12 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.IdleSpin <= 0 {
 		cfg.IdleSpin = 64
+		if stdruntime.GOMAXPROCS(0) == 1 {
+			// Spinning only pays when a producer can run concurrently; on a
+			// single P an idle worker's spin just steals the producer's CPU,
+			// so yield almost immediately instead.
+			cfg.IdleSpin = 4
+		}
 	}
 	if cfg.IdleSleep <= 0 {
 		cfg.IdleSleep = 50 * time.Microsecond

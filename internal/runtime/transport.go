@@ -94,13 +94,18 @@ func newRingTransport(workers, ringSize, batch, overflowCap int, rec *obs.Record
 		rec:         rec,
 		eps:         make([]endpoint, workers),
 	}
+	// All per-peer batch buffers come out of one slab: they are fixed-cap
+	// (flushTo empties them in place, Send never grows them past batch), so
+	// carving full-capacity sub-slices costs one allocation instead of
+	// workers*(workers-1).
+	slab := make([]task.Task, workers*(workers-1)*batch)
 	for i := range tr.eps {
 		ep := &tr.eps[i]
 		ep.ring = rq.NewRing(ringSize)
 		ep.out = make([][]task.Task, workers)
 		for j := range ep.out {
 			if j != i {
-				ep.out[j] = make([]task.Task, 0, batch)
+				ep.out[j], slab = slab[:0:batch], slab[batch:]
 			}
 		}
 	}

@@ -154,16 +154,51 @@ func bagPayloadAddr(owner int, id uint64) uint64 {
 }
 
 type cpsCore struct {
+	// Exactly one of swq/tl backs the core's priority queue: swq when the
+	// machine has no hPQ, tl (the two-level hot-buffer + cold-store shape,
+	// hot capacity = HPQSize) when it does. The two-level hot buffer
+	// reproduces pq.Bounded's residency semantics, so tl replaces the old
+	// hpq+swq composition with identical task ordering; the cost model
+	// still charges the hPQ access for hot traffic and the software PQ for
+	// cold traffic.
 	swq    *pq.BinaryHeap
-	hpq    *pq.Bounded // nil when the machine has no hPQ
-	in     []inEntry   // software receive queue (unbounded backing store)
-	hrqLen int         // entries currently resident in the hardware RQ
+	tl     *pq.TwoLevel
+	in     []inEntry // software receive queue (unbounded backing store)
+	hrqLen int       // entries currently resident in the hardware RQ
 
 	curPrio   int64
 	processed int64
 	sinceRep  int64
 	lock      lockModel // PQ lock (RELD-style remote enqueues)
 	rng       *graph.RNG
+}
+
+// pushSW inserts into the software side of the core's queue: the cold store
+// when two-level (bypassing the hot buffer, like the old spill heap), the
+// plain heap otherwise.
+func (c *cpsCore) pushSW(t task.Task) {
+	if c.tl != nil {
+		c.tl.PushCold(t)
+		return
+	}
+	c.swq.Push(t)
+}
+
+// swLen is the software-resident queue depth (the size the software PQ cost
+// model scales with).
+func (c *cpsCore) swLen() int {
+	if c.tl != nil {
+		return c.tl.ColdLen()
+	}
+	return c.swq.Len()
+}
+
+// qLen is the total queued work on this core.
+func (c *cpsCore) qLen() int {
+	if c.tl != nil {
+		return c.tl.Len()
+	}
+	return c.swq.Len()
 }
 
 type bagRecord struct {
@@ -221,12 +256,15 @@ func newCPSHandler(cfg CPSConfig, w workload.Workload, mcfg sim.Config, seed uin
 	}
 	for i := range h.cores {
 		h.cores[i] = cpsCore{
-			swq:     pq.NewBinaryHeap(64),
 			curPrio: idlePrio,
 			rng:     graph.NewRNG(seed + uint64(i)*0x9e37),
 		}
 		if mcfg.HPQSize > 0 {
-			h.cores[i].hpq = pq.NewBounded(mcfg.HPQSize)
+			// Binary-heap buckets keep the cold store's pop order identical
+			// to the old spill heap's.
+			h.cores[i].tl = pq.NewTwoLevel(pq.TwoLevelConfig{HotCap: mcfg.HPQSize, Arity: 2})
+		} else {
+			h.cores[i].swq = pq.NewBinaryHeap(64)
 		}
 	}
 	return h
@@ -265,14 +303,14 @@ func (h *cpsHandler) Start(m *sim.Machine) {
 		bags, singles := bag.Partition(slice, h.cfg.Bags, h.bagIDs.Next)
 		for _, b := range bags {
 			h.bags[b.ID] = bagRecord{tasks: b.Tasks, owner: core}
-			c.swq.Push(task.Task{Node: bagTaskNode, Prio: b.Prio, Data: b.ID})
+			c.pushSW(task.Task{Node: bagTaskNode, Prio: b.Prio, Data: b.ID})
 		}
 		for _, s := range singles {
-			c.swq.Push(s)
+			c.pushSW(s)
 		}
 	}
 	for i := range h.cores {
-		if h.cores[i].swq.Len() > 0 {
+		if h.cores[i].qLen() > 0 {
 			m.Wake(i)
 		}
 	}
@@ -327,19 +365,11 @@ func (h *cpsHandler) Ready(m *sim.Machine, core int) (int64, bool) {
 
 // dequeue pops the best task across the hardware and software queues.
 func (h *cpsHandler) dequeue(c *cpsCore) (task.Task, bool, bool) {
-	if c.hpq != nil {
-		hw, hok := c.hpq.Peek()
-		sw, sok := c.swq.Peek()
-		switch {
-		case hok && (!sok || hw.Less(sw)):
-			t, _ := c.hpq.Pop()
-			return t, true, true
-		case sok:
-			t, _ := c.swq.Pop()
-			return t, false, true
-		default:
-			return task.Task{}, false, false
-		}
+	if c.tl != nil {
+		// PopEx compares the hot front against the cold minimum without
+		// refilling, preserving each pop's hardware/software provenance for
+		// chargeDequeue — exactly the old hpq-vs-swq peek race.
+		return c.tl.PopEx()
 	}
 	t, ok := c.swq.Pop()
 	return t, false, ok
@@ -347,16 +377,16 @@ func (h *cpsHandler) dequeue(c *cpsCore) (task.Task, bool, bool) {
 
 func (h *cpsHandler) chargeDequeue(m *sim.Machine, core int, c *cpsCore, fromHW bool) int64 {
 	var cost int64
-	if c.hpq != nil {
+	if c.tl != nil {
 		// Parallel constant-latency check of both queues; the software
 		// rebalance happens in the background (§III-D), so a software-side
 		// pop costs only a fraction of the full software operation.
 		cost = h.mcfg.HWQueueCycles
 		if !fromHW {
-			cost += h.cm.swPQCost(c.swq.Len()+1) / 4
+			cost += h.cm.swPQCost(c.swLen()+1) / 4
 		}
 	} else {
-		cost = h.cm.swPQCost(c.swq.Len() + 1)
+		cost = h.cm.swPQCost(c.swLen() + 1)
 		if !h.cfg.UseRQ {
 			// RELD: the dequeue must take the core's own PQ lock, which
 			// remote enqueuers contend on.
@@ -388,7 +418,7 @@ func (h *cpsHandler) drain(m *sim.Machine, core int) int64 {
 		default:
 			// RELD: the sender already paid the locked remote insert; the
 			// task simply appears in this core's priority queue.
-			c.swq.Push(e.t)
+			c.pushSW(e.t)
 		}
 	}
 	c.in = c.in[:0]
@@ -399,12 +429,12 @@ func (h *cpsHandler) drain(m *sim.Machine, core int) int64 {
 // insertLocal pushes a task (or bag metadata) into the core's priority
 // queue, preferring the hardware queue when present, and returns the cost.
 func (h *cpsHandler) insertLocal(c *cpsCore, t task.Task) int64 {
-	if c.hpq != nil {
-		if ev, evicted := c.hpq.Push(t); evicted {
-			// Spill to the software PQ; the rebalance is asynchronous
-			// (§III-D), so only the hPQ access is charged.
-			c.swq.Push(ev)
-		}
+	if c.tl != nil {
+		// PushEx applies Bounded's residency rule (insert into the hot
+		// buffer, demoting its worst to the cold store when full); the
+		// rebalance is asynchronous (§III-D), so only the hPQ access is
+		// charged.
+		c.tl.PushEx(t)
 		return h.mcfg.HWQueueCycles
 	}
 	c.swq.Push(t)
@@ -564,7 +594,7 @@ func (h *cpsHandler) transfer(m *sim.Machine, core, dst int, msg sim.Message, bi
 		// and the task reaches the destination only after the propagation
 		// latency.
 		dc := &h.cores[dst]
-		insert := h.cm.swPQCost(dc.swq.Len()+1) * max64(1, h.mcfg.RemoteOpPenalty)
+		insert := h.cm.swPQCost(dc.swLen()+1) * max64(1, h.mcfg.RemoteOpPenalty)
 		hold := h.mcfg.SWLockCost + insert
 		wait := dc.lock.acquire(m.Now(), hold)
 		lat := m.Send(msg, bits, wait+hold+h.mcfg.SWTransferCycles)
