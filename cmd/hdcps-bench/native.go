@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"hdcps/internal/graph"
+	"hdcps/internal/obs"
 	"hdcps/internal/runtime"
 	"hdcps/internal/workload"
 )
@@ -28,17 +30,23 @@ type NativeBenchDoc struct {
 }
 
 // NativeBenchRun is one labeled benchmark sweep across all workloads.
+// CPUs is the host's runtime.NumCPU(); GoMaxProcs the GOMAXPROCS the run
+// actually executed under (they differ in cgroup-limited containers, which
+// is what makes cross-host throughput comparisons meaningful). GoMaxProcs
+// is omitempty so pre-PR-6 documents read back unchanged.
 type NativeBenchRun struct {
-	Label     string               `json:"label"`
-	GoVersion string               `json:"go_version"`
-	GOOS      string               `json:"goos"`
-	GOARCH    string               `json:"goarch"`
-	CPUs      int                  `json:"cpus"`
-	Workers   int                  `json:"workers"`
-	Graph     string               `json:"graph"`
-	Seed      uint64               `json:"seed"`
-	Reps      int                  `json:"reps"`
-	Workloads []NativeBenchMeasure `json:"workloads"`
+	Label      string                 `json:"label"`
+	GoVersion  string                 `json:"go_version"`
+	GOOS       string                 `json:"goos"`
+	GOARCH     string                 `json:"goarch"`
+	CPUs       int                    `json:"cpus"`
+	GoMaxProcs int                    `json:"gomaxprocs,omitempty"`
+	Workers    int                    `json:"workers"`
+	Graph      string                 `json:"graph"`
+	Seed       uint64                 `json:"seed"`
+	Reps       int                    `json:"reps"`
+	Workloads  []NativeBenchMeasure   `json:"workloads"`
+	Quality    []NativeQualityMeasure `json:"quality,omitempty"`
 }
 
 // NativeBenchMeasure is one workload's measurement: throughput, allocation
@@ -50,6 +58,23 @@ type NativeBenchMeasure struct {
 	AllocsPerTask float64 `json:"allocs_per_task"` // heap allocations amortized per task
 	P50Ms         float64 `json:"p50_ms"`          // median per-run completion time
 	P99Ms         float64 `json:"p99_ms"`          // tail per-run completion time
+}
+
+// NativeQualityMeasure is one cell of the relaxation-vs-speed quality
+// sweep: a (queue kind, workload) pair's throughput next to its sampled
+// scheduling quality. Strict kinds (heap/dheap/twolevel) must report zero
+// inversions — checkNativeRun fails otherwise, a structural canary for
+// queue bugs — while multiqueue reports the bounded rank error it trades
+// for scalability.
+type NativeQualityMeasure struct {
+	Queue       string  `json:"queue"`
+	Workload    string  `json:"workload"`
+	TasksPerSec float64 `json:"tasks_per_sec"`
+	RankSamples int64   `json:"rank_samples"`
+	Inversions  int64   `json:"prio_inversions"`
+	MeanRankErr float64 `json:"mean_rank_err"`
+	P99RankErr  float64 `json:"p99_rank_err"`
+	MaxRankErr  int64   `json:"max_rank_err"`
 }
 
 // nativeGraph maps the -scale flag to the benchmark input, mirroring the
@@ -78,15 +103,16 @@ func runNativeBench(label, scale, out string, workers, reps int, seed uint64) (N
 		reps = 20
 	}
 	run := NativeBenchRun{
-		Label:     label,
-		GoVersion: stdruntime.Version(),
-		GOOS:      stdruntime.GOOS,
-		GOARCH:    stdruntime.GOARCH,
-		CPUs:      stdruntime.NumCPU(),
-		Workers:   workers,
-		Graph:     gname,
-		Seed:      seed,
-		Reps:      reps,
+		Label:      label,
+		GoVersion:  stdruntime.Version(),
+		GOOS:       stdruntime.GOOS,
+		GOARCH:     stdruntime.GOARCH,
+		CPUs:       stdruntime.NumCPU(),
+		GoMaxProcs: stdruntime.GOMAXPROCS(0),
+		Workers:    workers,
+		Graph:      gname,
+		Seed:       seed,
+		Reps:       reps,
 	}
 	cfg := runtime.DefaultConfig(workers)
 	cfg.Seed = seed
@@ -128,6 +154,12 @@ func runNativeBench(label, scale, out string, workers, reps int, seed uint64) (N
 			name, m.TasksPerSec, m.AllocsPerTask, m.P50Ms, m.P99Ms)
 	}
 
+	quality, err := runQualitySweep(g, workers, seed)
+	if err != nil {
+		return run, err
+	}
+	run.Quality = quality
+
 	doc := NativeBenchDoc{Schema: "hdcps-native-bench/v1"}
 	if prev, err := os.ReadFile(out); err == nil {
 		var existing NativeBenchDoc
@@ -153,6 +185,85 @@ func runNativeBench(label, scale, out string, workers, reps int, seed uint64) (N
 	return run, os.WriteFile(out, buf, 0o644)
 }
 
+// runQualitySweep measures the relaxation-vs-speed frontier: every queue
+// kind × a contended workload mix, reporting tasks/s (unobserved reps) next
+// to the sampled rank-error stats from one observed rep (every 16th pop is
+// compared against the best observable work — the MultiQueue's sharded min
+// witness, or a Peek-after-pop canary for the strict kinds).
+func runQualitySweep(g *graph.CSR, workers int, seed uint64) ([]NativeQualityMeasure, error) {
+	const reps = 3
+	var out []NativeQualityMeasure
+	for _, kind := range runtime.QueueKinds() {
+		for _, name := range []string{"sssp", "bfs", "color", "pagerank"} {
+			w, err := workload.New(name, g)
+			if err != nil {
+				return nil, err
+			}
+			cfg := runtime.DefaultConfig(workers)
+			cfg.Seed = seed
+			cfg.QueueKind = kind
+			runtime.Run(w, cfg) // warm-up
+			var tasks int64
+			var total time.Duration
+			for i := 0; i < reps; i++ {
+				res := runtime.Run(w, cfg)
+				tasks += res.TasksProcessed
+				total += res.Elapsed
+			}
+			if err := w.Verify(); err != nil {
+				return nil, fmt.Errorf("quality sweep: %s/%s wrong result: %w", kind, name, err)
+			}
+
+			rec := obs.New(obs.Config{Workers: workers, RingSize: 1 << 14, SampleEvery: 16})
+			cfg.Obs = rec
+			e := runtime.NewEngine(w, cfg)
+			_ = e.Submit(w.InitialTasks()...)
+			_ = e.Start()
+			_ = e.Drain(context.Background())
+			snap := e.Snapshot()
+			_ = e.Stop(context.Background())
+			if err := w.Verify(); err != nil {
+				return nil, fmt.Errorf("quality sweep: observed %s/%s wrong result: %w", kind, name, err)
+			}
+			m := NativeQualityMeasure{
+				Queue:       kind,
+				Workload:    name,
+				TasksPerSec: float64(tasks) / total.Seconds(),
+				RankSamples: snap.RankSamples,
+				Inversions:  snap.PrioInversions,
+				MaxRankErr:  snap.RankErrorMax,
+			}
+			if snap.RankSamples > 0 {
+				m.MeanRankErr = float64(snap.RankErrorSum) / float64(snap.RankSamples)
+			}
+			var ranks []int64
+			for _, ev := range rec.Events() {
+				if ev.Kind == obs.EvRankSample {
+					ranks = append(ranks, ev.A)
+				}
+			}
+			if len(ranks) > 0 {
+				sort.Slice(ranks, func(a, b int) bool { return ranks[a] < ranks[b] })
+				m.P99RankErr = float64(ranks[int(0.99*float64(len(ranks)-1))])
+			}
+			out = append(out, m)
+			fmt.Fprintf(os.Stderr, "quality %-10s %-10s %10.0f tasks/s  %5d samples  %4d inv  p99 rank %.0f  max %d\n",
+				kind, name, m.TasksPerSec, m.RankSamples, m.Inversions, m.P99RankErr, m.MaxRankErr)
+		}
+	}
+	return out, nil
+}
+
+// strictKinds are the queue kinds whose pop order is exact: any sampled
+// priority inversion is a structural queue bug, not relaxation.
+func strictKinds() map[string]bool {
+	return map[string]bool{
+		runtime.QueueHeap:     true,
+		runtime.QueueDHeap:    true,
+		runtime.QueueTwoLevel: true,
+	}
+}
+
 // checkNativeRun is the CI bench-regression smoke gate: it compares a fresh
 // run against the newest run recorded in the baseline document and fails
 // only on collapse, not drift — a workload's throughput dropping below
@@ -160,7 +271,26 @@ func runNativeBench(label, scale, out string, workers, reps int, seed uint64) (N
 // baseline (plus an absolute 0.05 allocs/task floor so a 0-alloc baseline
 // doesn't make any allocation a failure). Workloads present on only one
 // side are ignored; an empty baseline passes vacuously.
+//
+// It additionally gates on scheduling quality, baseline-free: a strict
+// queue kind (heap/dheap/twolevel) reporting any sampled priority
+// inversion in the fresh run's quality sweep fails the gate outright —
+// exact queues cannot legally invert, so a nonzero count is a structural
+// queue bug the throughput numbers would never surface.
 func checkNativeRun(run NativeBenchRun, baselinePath string, tol float64) error {
+	strict := strictKinds()
+	var qfailures []string
+	for _, q := range run.Quality {
+		if strict[q.Queue] && q.Inversions > 0 {
+			qfailures = append(qfailures, fmt.Sprintf(
+				"%s/%s: %d priority inversions from a strict queue kind (%d samples)",
+				q.Queue, q.Workload, q.Inversions, q.RankSamples))
+		}
+	}
+	if len(qfailures) > 0 {
+		return fmt.Errorf("strict-kind inversion canary tripped:\n  %s",
+			strings.Join(qfailures, "\n  "))
+	}
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return fmt.Errorf("baseline: %w", err)

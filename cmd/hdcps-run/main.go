@@ -8,6 +8,7 @@
 //	hdcps-run -sched hdcps-sw -workload sssp -input road -cores 40 [-hw] [-scale small]
 //	hdcps-run -sched native -workload sssp -input road -cores 4
 //	hdcps-run -sched native -workload sssp -input road -queue twolevel
+//	hdcps-run -sched native -workload sssp -input road -queue multiqueue
 //	hdcps-run -sched native -workload sssp -input road -trace trace.jsonl -metrics :6060
 //	hdcps-run -chaos "seed=42,delay=0.1,dup=0.02,reorder=0.2" -workload sssp -input road
 //	hdcps-run -list
@@ -55,7 +56,12 @@ func main() {
 		trace     = flag.String("trace", "", "write the native runtime's JSONL observability trace here (\"-\" for stdout; -sched native only)")
 		metrics   = flag.String("metrics", "", "serve expvar/pprof/obs debug HTTP on this address during the run, e.g. :6060 (-sched native only)")
 		chaosSpec = flag.String("chaos", "", "run under fault injection with this mix, e.g. \"seed=42,delay=0.1,dup=0.02\" or \"default\" (native runtime only)")
-		queueKind = flag.String("queue", "", "native local-queue shape: heap, dheap, or twolevel (default twolevel; -sched native only)")
+		// The accepted values come from runtime.QueueKinds() — both here and
+		// in validQueueKind — so a newly registered kind can never be
+		// silently missing from the CLI.
+		queueKind = flag.String("queue", "", "native local-queue shape: "+
+			strings.Join(runtime.QueueKinds(), ", ")+
+			" (default "+runtime.QueueTwoLevel+"; -sched native only)")
 	)
 	flag.Parse()
 

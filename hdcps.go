@@ -179,7 +179,8 @@ func NewEngine(w Workload, cfg NativeConfig) *Engine { return runtime.NewEngine(
 func DefaultNativeConfig(workers int) NativeConfig { return runtime.DefaultConfig(workers) }
 
 // QueueKinds lists the valid NativeConfig.QueueKind values: the per-worker
-// local-queue shapes of the native runtime ("heap", "dheap", "twolevel").
+// local-queue shapes of the native runtime ("heap", "dheap", "twolevel",
+// and the relaxed shared "multiqueue").
 func QueueKinds() []string { return runtime.QueueKinds() }
 
 // NewChaosEngine builds an Engine whose transport injects faults from the

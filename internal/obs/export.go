@@ -47,6 +47,8 @@ func (e Event) jsonFields() map[string]any {
 		return map[string]any{"prio": e.A, "attempts": e.B}
 	case EvRedirect:
 		return map[string]any{"tasks": e.A}
+	case EvRankSample:
+		return map[string]any{"rank": e.A, "prio": e.B}
 	default: // park, wake, worker-restart: no payload
 		return nil
 	}

@@ -66,6 +66,17 @@ const (
 	CHotSpills      // hot-buffer demotions/bounces into the cold store
 	CQueueFallbacks // bucket-store → heap migrations (0 or 1 per worker)
 
+	// Scheduling-quality counters (PR 6): how far the popped task strayed
+	// from the global minimum. Strict queue kinds (heap/dheap/twolevel) must
+	// report zero inversions — the bench gate's structural canary — while
+	// the relaxed multiqueue reports its bounded rank error. Sampled on the
+	// engine's pop path at the same stride as task events; zero cost when
+	// obs is disabled.
+	CRankSamples    // pops whose rank error was sampled
+	CPrioInversions // sampled pops that were not the observable global min
+	CRankErrSum     // sum of sampled rank errors (mean = sum / samples)
+	CRankErrMax     // max sampled rank error (gauge, not a sum)
+
 	numCounters
 )
 
@@ -75,6 +86,7 @@ var counterNames = [numCounters]string{
 	"tdf_steps", "tasks_spawned", "bags_retired", "task_panics",
 	"task_retries", "tasks_quarantined", "overflow_redirects",
 	"drift_clamped", "worker_restarts", "hot_spills", "queue_fallbacks",
+	"rank_samples", "prio_inversions", "rank_err_sum", "rank_err_max",
 }
 
 // String returns the counter's snake_case export name.
@@ -103,6 +115,7 @@ const (
 	EvQuarantine                     // task quarantined: A=prio, B=attempts
 	EvRedirect                       // flow-control bounce kept local: A=task count
 	EvWorkerRestart                  // worker loop restarted after an internal panic
+	EvRankSample                     // sampled pop rank error: A=rank, B=popped prio
 
 	numEventKinds
 )
@@ -110,7 +123,7 @@ const (
 var eventNames = [numEventKinds]string{
 	"task", "submit", "bag-created", "bag-opened", "spill", "park", "wake",
 	"drift-report", "tdf-step", "panic", "quarantine", "redirect",
-	"worker-restart",
+	"worker-restart", "rank-sample",
 }
 
 // String returns the kind's export name.

@@ -277,6 +277,7 @@ func BenchmarkQueueDist(b *testing.B) {
 		{"binary", func() Queue { return NewBinaryHeap(1024) }},
 		{"4-ary", func() Queue { return NewQuadHeap(1024) }},
 		{"twolevel", func() Queue { return NewTwoLevel(TwoLevelConfig{}) }},
+		{"multiqueue", func() Queue { return NewMultiQueue(MultiQueueConfig{Workers: 1}).Handle() }},
 	}
 	for _, d := range dists {
 		for _, s := range shapes {

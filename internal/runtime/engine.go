@@ -120,7 +120,13 @@ type worker struct {
 	// queue is the stock two-level shape, letting the hot loop's push/pop
 	// make direct (inlinable) calls instead of interface dispatch per task.
 	// Custom or heap-backed queues take the interface path (qpush/qpop).
-	tl  *pq.TwoLevel
+	tl *pq.TwoLevel
+	// mq is the devirtualized view of the relaxed MultiQueue handle
+	// (QueueMultiQueue): non-nil when this worker's "local" queue is a
+	// handle into the fleet-shared MultiQueue. Besides skipping interface
+	// dispatch, it gives the rank-error sampler access to the queue's
+	// lock-free sharded min witness.
+	mq  *pq.MQHandle
 	rng *graph.RNG
 
 	// batch is the dequeue batch (Config.BatchK): the loop pops up to
@@ -161,6 +167,18 @@ type worker struct {
 	sinceReport int64
 	sinceFlush  int
 
+	// Scheduling-quality accounting (obs-gated: all five stay untouched
+	// when no recorder is attached). popCount strides the sampler at the
+	// recorder's task-sample mask; the rest accumulate the sampled rank
+	// errors Snapshot and the bench gate read. For strict kinds the sample
+	// is a Peek-after-pop structural canary (any inversion is a queue bug);
+	// for multiqueue it is the sharded-witness rank estimate.
+	popCount    int64
+	rankSamples int64
+	inversions  int64
+	rankErrSum  int64
+	rankErrMax  int64
+
 	// acct accumulates this worker's pending retirement decrements (-1 per
 	// childless task or unpacked bag) between batch boundaries, where they
 	// flush into the shared outstanding count as one atomic add. Deferring
@@ -187,7 +205,11 @@ type worker struct {
 	pubRedirects   *atomic.Int64
 	pubHotSpills   *atomic.Int64
 	pubFallbacks   *atomic.Int64
-	pubLocal       [9]atomic.Int64
+	pubRankSamples *atomic.Int64
+	pubInversions  *atomic.Int64
+	pubRankErrSum  *atomic.Int64
+	pubRankErrMax  *atomic.Int64
+	pubLocal       [13]atomic.Int64
 
 	// prefetchSink receives the batched loop's CSR-offset loads; writing
 	// them to a field keeps the loads from being dead-code-eliminated.
@@ -196,12 +218,16 @@ type worker struct {
 	_pad [4]int64 // reduce false sharing between workers
 }
 
-// qpush and qpop route the worker's local-queue traffic through the
-// devirtualized two-level queue when it is in use, or the LocalQueue
-// interface otherwise.
+// qpush, qpop, and qpeek route the worker's local-queue traffic through the
+// devirtualized two-level or multiqueue shapes when one is in use, or the
+// LocalQueue interface otherwise.
 func (me *worker) qpush(t task.Task) {
 	if me.tl != nil {
 		me.tl.Push(t)
+		return
+	}
+	if me.mq != nil {
+		me.mq.Push(t)
 		return
 	}
 	me.queue.Push(t)
@@ -211,7 +237,17 @@ func (me *worker) qpop() (task.Task, bool) {
 	if me.tl != nil {
 		return me.tl.Pop()
 	}
+	if me.mq != nil {
+		return me.mq.Pop()
+	}
 	return me.queue.Pop()
+}
+
+func (me *worker) qpeek() (task.Task, bool) {
+	if me.tl != nil {
+		return me.tl.Peek()
+	}
+	return me.queue.Peek()
 }
 
 // publish mirrors the worker-local counters into their atomic shadows.
@@ -228,6 +264,10 @@ func (me *worker) publish() {
 		me.pubHotSpills.Store(st.Spills)
 		me.pubFallbacks.Store(st.Fallbacks)
 	}
+	me.pubRankSamples.Store(me.rankSamples)
+	me.pubInversions.Store(me.inversions)
+	me.pubRankErrSum.Store(me.rankErrSum)
+	me.pubRankErrMax.Store(me.rankErrMax)
 }
 
 // NewEngine builds an engine over w (which is Reset) with cfg defaults
@@ -255,11 +295,13 @@ func NewEngine(w workload.Workload, cfg Config) *Engine {
 		e.transport = newRingTransport(cfg.Workers, cfg.RingSize, cfg.BatchSize, cfg.OverflowCap, cfg.Obs)
 	}
 	e.rt, _ = e.transport.(*ringTransport)
+	queues := newLocalQueues(cfg)
 	for i := range e.workers {
 		me := &e.workers[i]
 		me.id = i
-		me.queue = newLocalQueue(cfg)
+		me.queue = queues[i]
 		me.tl, _ = me.queue.(*pq.TwoLevel)
+		me.mq, _ = me.queue.(*pq.MQHandle)
 		me.rng = graph.NewRNG(cfg.Seed + uint64(i)*0x9e3779b9)
 		me.batch = make([]task.Task, cfg.BatchK)
 		me.children = make([]task.Task, 0, 16)
@@ -282,6 +324,10 @@ func NewEngine(w workload.Workload, cfg Config) *Engine {
 			me.pubRedirects = rec.CounterSlot(i, obs.COverflowRedirects)
 			me.pubHotSpills = rec.CounterSlot(i, obs.CHotSpills)
 			me.pubFallbacks = rec.CounterSlot(i, obs.CQueueFallbacks)
+			me.pubRankSamples = rec.CounterSlot(i, obs.CRankSamples)
+			me.pubInversions = rec.CounterSlot(i, obs.CPrioInversions)
+			me.pubRankErrSum = rec.CounterSlot(i, obs.CRankErrSum)
+			me.pubRankErrMax = rec.CounterSlot(i, obs.CRankErrMax)
 		} else {
 			me.pubProcessed = &me.pubLocal[0]
 			me.pubBags = &me.pubLocal[1]
@@ -292,6 +338,10 @@ func NewEngine(w workload.Workload, cfg Config) *Engine {
 			me.pubRedirects = &me.pubLocal[6]
 			me.pubHotSpills = &me.pubLocal[7]
 			me.pubFallbacks = &me.pubLocal[8]
+			me.pubRankSamples = &me.pubLocal[9]
+			me.pubInversions = &me.pubLocal[10]
+			me.pubRankErrSum = &me.pubLocal[11]
+			me.pubRankErrMax = &me.pubLocal[12]
 		}
 	}
 	if cfg.Obs != nil {
@@ -669,6 +719,9 @@ func (e *Engine) runWorker(id int) {
 			if !ok {
 				break
 			}
+			if e.obsMask >= 0 {
+				e.sampleRank(me, t)
+			}
 			me.batch[n] = t
 			n++
 		}
@@ -757,6 +810,48 @@ func (e *Engine) runWorker(id int) {
 			me.publish()
 		}
 	}
+}
+
+// sampleRank measures how far a freshly popped task strayed from the best
+// work this worker could observe, at the recorder's task-sample stride.
+// Only called with obs enabled (obsMask >= 0) — a disabled engine pays one
+// predictable branch at the pop site and nothing else.
+//
+// For the relaxed multiqueue the measure is the shared structure's
+// RankEstimate: the number of shards whose lock-free cached top is strictly
+// better than the popped priority — a lower bound on the true global rank
+// error, zero exactly when no inversion was observable. For the strict
+// kinds the local queue IS the worker's priority order, so the sample
+// degrades to a Peek-after-pop canary: the queue's next task comparing
+// better than the one just popped can only mean a structural bug, which is
+// why the bench gate demands 0 inversions from heap/dheap/twolevel.
+func (e *Engine) sampleRank(me *worker, t task.Task) {
+	me.popCount++
+	if me.popCount&e.obsMask != 0 {
+		return
+	}
+	var rank int64
+	if me.mq != nil {
+		r, _ := me.mq.Queue().RankEstimate(t.Prio)
+		rank = int64(r)
+	} else if next, ok := me.qpeek(); ok && next.Prio < t.Prio {
+		// Strictly-less on Prio, not task.Less: equal-priority tasks may
+		// legally pop in any order (the bucket store is FIFO per bucket).
+		rank = 1
+	}
+	me.rankSamples++
+	if rank > 0 {
+		me.inversions++
+		me.rankErrSum += rank
+		if rank > me.rankErrMax {
+			me.rankErrMax = rank
+		}
+	}
+	me.pubRankSamples.Store(me.rankSamples)
+	me.pubInversions.Store(me.inversions)
+	me.pubRankErrSum.Store(me.rankErrSum)
+	me.pubRankErrMax.Store(me.rankErrMax)
+	e.obs.Event(me.id, obs.EvRankSample, rank, t.Prio, 0)
 }
 
 // prefetchRow touches the next batched task's CSR row bounds so the offset
@@ -965,6 +1060,19 @@ type Snapshot struct {
 	HotSpills      int64
 	QueueFallbacks int64
 
+	// Scheduling quality (obs-gated: all zero when Config.Obs is nil). The
+	// engine samples the pop path at the recorder's task-sample stride and
+	// asks how far the popped task strayed from the best observable work:
+	// RankSamples counts sampled pops, PrioInversions the samples that were
+	// not the observable minimum, RankErrorSum the summed rank estimates
+	// (mean = sum / samples), RankErrorMax the worst single sample. Strict
+	// kinds must report 0 inversions (structural canary); multiqueue
+	// reports its bounded relaxation.
+	RankSamples    int64
+	PrioInversions int64
+	RankErrorSum   int64
+	RankErrorMax   int64
+
 	Workers []WorkerStats
 }
 
@@ -1003,6 +1111,12 @@ func (e *Engine) Snapshot() Snapshot {
 		s.Redirects += ws.Redirects
 		s.HotSpills += me.pubHotSpills.Load()
 		s.QueueFallbacks += me.pubFallbacks.Load()
+		s.RankSamples += me.pubRankSamples.Load()
+		s.PrioInversions += me.pubInversions.Load()
+		s.RankErrorSum += me.pubRankErrSum.Load()
+		if m := me.pubRankErrMax.Load(); m > s.RankErrorMax {
+			s.RankErrorMax = m
+		}
 	}
 	return s
 }

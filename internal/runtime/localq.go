@@ -23,17 +23,38 @@ const (
 	QueueDHeap = "dheap"
 	// QueueHeap is the classic binary heap (HeapArity 2 shorthand).
 	QueueHeap = "heap"
+	// QueueMultiQueue is the relaxed MultiQueue (PR 6): one shared pool of
+	// c·P try-locked shards with pick-2 delete-min, accessed through a
+	// per-worker pq.MQHandle. Unlike the strict kinds, the "local" queues of
+	// a fleet are views of one structure, so work balances through the queue
+	// itself at the cost of bounded priority inversion (tracked by the
+	// engine's rank-error counters).
+	QueueMultiQueue = "multiqueue"
 )
 
-// QueueKinds lists the valid Config.QueueKind values.
+// QueueKinds lists the valid Config.QueueKind values. The engine test
+// matrix, the chaos soak, and the CLI flag validation all iterate this
+// list, so a new kind registered here is automatically covered everywhere.
 func QueueKinds() []string {
-	return []string{QueueHeap, QueueDHeap, QueueTwoLevel}
+	return []string{QueueHeap, QueueDHeap, QueueTwoLevel, QueueMultiQueue}
+}
+
+// mqConfig maps the engine knobs onto the shared MultiQueue's sizing.
+func mqConfig(cfg Config) pq.MultiQueueConfig {
+	return pq.MultiQueueConfig{
+		Workers:    cfg.Workers,
+		Factor:     cfg.MQFactor,
+		Stickiness: cfg.MQStickiness,
+		Seed:       cfg.Seed,
+	}
 }
 
 // newLocalQueue builds one worker's queue from the configured policy:
 // Config.Queue when set (the pluggable hook), else the shape named by
-// Config.QueueKind. The engine's hot path devirtualizes the two-level
-// shape (worker.tl), so the interface boxing here is paid once per worker.
+// Config.QueueKind. The engine's hot path devirtualizes the two-level and
+// multiqueue shapes (worker.tl / worker.mq), so the interface boxing here
+// is paid once per worker. A multiqueue built here is a single-worker
+// instance; fleets share one structure via newLocalQueues instead.
 func newLocalQueue(cfg Config) LocalQueue {
 	if cfg.Queue != nil {
 		return cfg.Queue()
@@ -46,10 +67,34 @@ func newLocalQueue(cfg Config) LocalQueue {
 			return pq.NewBinaryHeap(64)
 		}
 		return pq.NewDHeap(cfg.HeapArity, 64)
+	case QueueMultiQueue:
+		mc := mqConfig(cfg)
+		mc.Workers = 1
+		return pq.NewMultiQueue(mc).Handle()
 	default:
 		return pq.NewTwoLevel(pq.TwoLevelConfig{
 			HotCap: cfg.HotBufferCap,
 			Arity:  cfg.HeapArity,
 		})
 	}
+}
+
+// newLocalQueues builds the whole fleet's queues at once. For the strict
+// per-worker kinds this is just newLocalQueue per worker; for multiqueue
+// every worker gets a handle into ONE shared c·P-shard structure — the
+// property that makes the kind a scalability play rather than P separate
+// relaxed queues.
+func newLocalQueues(cfg Config) []LocalQueue {
+	qs := make([]LocalQueue, cfg.Workers)
+	if cfg.Queue == nil && cfg.QueueKind == QueueMultiQueue {
+		m := pq.NewMultiQueue(mqConfig(cfg))
+		for i := range qs {
+			qs[i] = m.Handle()
+		}
+		return qs
+	}
+	for i := range qs {
+		qs[i] = newLocalQueue(cfg)
+	}
+	return qs
 }

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"hdcps/internal/graph"
+	"hdcps/internal/obs"
 	"hdcps/internal/pq"
 	"hdcps/internal/task"
 	"hdcps/internal/workload"
@@ -21,19 +22,26 @@ func TestQueueKindSelection(t *testing.T) {
 	cases := []struct {
 		cfg      Config
 		twoLevel bool
+		multi    bool
 	}{
-		{Config{}, true},
-		{Config{QueueKind: QueueTwoLevel, HotBufferCap: 16}, true},
-		{Config{QueueKind: QueueHeap}, false},
-		{Config{QueueKind: QueueDHeap}, false},
-		{Config{QueueKind: QueueDHeap, HeapArity: 2}, false},
-		{Config{Queue: func() LocalQueue { return pq.NewBinaryHeap(8) }}, false},
+		{Config{}, true, false},
+		{Config{QueueKind: QueueTwoLevel, HotBufferCap: 16}, true, false},
+		{Config{QueueKind: QueueHeap}, false, false},
+		{Config{QueueKind: QueueDHeap}, false, false},
+		{Config{QueueKind: QueueDHeap, HeapArity: 2}, false, false},
+		{Config{QueueKind: QueueMultiQueue}, false, true},
+		{Config{QueueKind: QueueMultiQueue, MQFactor: 2, MQStickiness: 4}, false, true},
+		{Config{Queue: func() LocalQueue { return pq.NewBinaryHeap(8) }}, false, false},
 	}
 	for _, c := range cases {
 		q := newLocalQueue(c.cfg.withDefaults())
 		_, isTL := q.(*pq.TwoLevel)
 		if isTL != c.twoLevel {
 			t.Errorf("QueueKind %q: twolevel=%v, want %v", c.cfg.QueueKind, isTL, c.twoLevel)
+		}
+		_, isMQ := q.(*pq.MQHandle)
+		if isMQ != c.multi {
+			t.Errorf("QueueKind %q: multiqueue=%v, want %v", c.cfg.QueueKind, isMQ, c.multi)
 		}
 		// Whatever the shape, it must behave as a priority queue.
 		q.Push(task.Task{Node: 2, Prio: 20})
@@ -244,4 +252,66 @@ func TestEngineRestartMidRun(t *testing.T) {
 	if got := e.faults.restarts.Load(); got != 1 {
 		t.Errorf("worker restarts = %d, want 1", got)
 	}
+}
+
+// TestEngineRankCounters runs every queue kind with observability on and
+// checks the scheduling-quality counters end to end: each kind must sample
+// its pops, the strict kinds must report exactly zero inversions (the bench
+// gate's structural canary), multiqueue's rank error must stay bounded —
+// and without a recorder the counters must stay untouched.
+func TestEngineRankCounters(t *testing.T) {
+	run := func(kind string, rec *obs.Recorder) Snapshot {
+		w, err := workload.New("sssp", graph.Road(32, 32, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig(4)
+		cfg.QueueKind = kind
+		cfg.Obs = rec
+		e := NewEngine(w, cfg)
+		_ = e.Submit(w.InitialTasks()...)
+		_ = e.Start()
+		if err := e.Drain(testCtx(t)); err != nil {
+			t.Fatal(err)
+		}
+		snap := e.Snapshot()
+		_ = e.Stop(testCtx(t))
+		if err := w.Verify(); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		return snap
+	}
+	for _, kind := range QueueKinds() {
+		t.Run(kind, func(t *testing.T) {
+			rec := obs.New(obs.Config{Workers: 4, SampleEvery: 4})
+			snap := run(kind, rec)
+			if snap.RankSamples == 0 {
+				t.Fatal("no pops were rank-sampled with obs enabled")
+			}
+			if rec.Total(obs.CRankSamples) != snap.RankSamples {
+				t.Errorf("recorder rank_samples = %d, snapshot %d",
+					rec.Total(obs.CRankSamples), snap.RankSamples)
+			}
+			if kind == QueueMultiQueue {
+				if snap.PrioInversions > 0 && snap.RankErrorMax <= 0 {
+					t.Error("inversions counted but max rank error never published")
+				}
+				// The witness rank is bounded by the shard count by construction.
+				if max, shards := snap.RankErrorMax, int64(4*4); max > shards {
+					t.Errorf("rank error %d exceeds the %d-shard witness bound", max, shards)
+				}
+				return
+			}
+			if snap.PrioInversions != 0 || snap.RankErrorSum != 0 {
+				t.Errorf("strict kind %s reported %d inversions (sum %d): queue bug",
+					kind, snap.PrioInversions, snap.RankErrorSum)
+			}
+		})
+	}
+	t.Run("disabled", func(t *testing.T) {
+		snap := run(QueueMultiQueue, nil)
+		if snap.RankSamples != 0 || snap.PrioInversions != 0 {
+			t.Errorf("rank counters moved without a recorder: %+v", snap)
+		}
+	})
 }

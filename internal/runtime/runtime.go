@@ -59,8 +59,10 @@ type Config struct {
 	// (the default — the paper's hPQ-style hot buffer over a monotone
 	// bucket cold store, with runtime fallback to a d-ary heap on
 	// non-monotone priority streams), QueueDHeap (the PR-1 d-ary heap of
-	// HeapArity), or QueueHeap (a classic binary heap). Unknown values
-	// select the default.
+	// HeapArity), QueueHeap (a classic binary heap), or QueueMultiQueue
+	// (the relaxed shared MultiQueue: c·P try-locked shards, pick-2
+	// delete-min, bounded priority inversion). Unknown values select the
+	// default.
 	QueueKind string
 	// HotBufferCap sizes the two-level queue's hot buffer (QueueTwoLevel
 	// only). 0 defaults to 48, the paper's hPQ capacity (§III-D).
@@ -70,6 +72,15 @@ type Config struct {
 	// cost model charges for) and the two-level queue's fallback heap.
 	// 0 defaults to 4, the cache-friendly choice.
 	HeapArity int
+	// MQFactor is the MultiQueue's c in the c·P shard count (QueueMultiQueue
+	// only). 0 defaults to 4, the literature's sweet spot; larger values
+	// lower contention but raise the expected rank error.
+	MQFactor int
+	// MQStickiness is how many consecutive operations a worker reuses its
+	// chosen MultiQueue shard (pair) before re-randomizing (QueueMultiQueue
+	// only). 0 defaults to 8; 1 disables stickiness. Higher values cut
+	// coordination cost and multiply the rank-error bound by O(S).
+	MQStickiness int
 	// Queue, when non-nil, overrides HeapArity with a custom per-worker
 	// local queue (the pluggable local-queue layer; called once per worker).
 	Queue func() LocalQueue
