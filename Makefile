@@ -39,10 +39,12 @@ race:
 
 # Chaos tier: the fault-injection soaks (internal/chaos) under the race
 # detector — every mix (delay, duplication, reorder, ring-full, stall,
-# combined, quarantine) plus the worker-pause-mid-drain regression, each
-# asserting the conservation ledger at every quiescent checkpoint. Seeds are
-# fixed, so a failure reproduces. Set CHAOS_SOAK=1 (the nightly knob) for
-# longer soaks on bigger graphs.
+# combined, quarantine), the worker-pause-mid-drain regression, and the
+# multi-tenant mixes (mid-drain job cancellation and quota saturation with
+# neighbours running), each asserting the global ledger, every per-job
+# ledger, and the partition identity at every quiescent checkpoint. Seeds
+# are fixed, so a failure reproduces. Set CHAOS_SOAK=1 (the nightly knob)
+# for longer soaks on bigger graphs.
 chaos:
 	$(GO) test -race -count=1 -run 'TestSoak|TestEnginePanic|TestEngineRetry|TestEngineQuarantine|TestEngineDrain|TestEngineOverflow' \
 		./internal/chaos/ ./internal/runtime/
@@ -58,10 +60,14 @@ bench:
 # Bench smoke: prove every benchmark still runs and the native bench
 # harness still emits a report — a fixed tiny iteration count, not a
 # measurement (CI runs this; use `make bench` + benchstat for numbers).
+# The fairness-sweep run proves the multi-tenant path end to end (4 jobs,
+# weights 4:2:1:1, per-job ledgers exact); at tiny scale its shares are
+# informational, the ±10pp gate binds at small scale and up.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkRingPush|BenchmarkHeapPushPop|BenchmarkPartition|BenchmarkNativeRuntime|BenchmarkQueueDist' \
 		-benchtime 100x -benchmem . ./internal/rq/ ./internal/pq/ ./internal/bag/ ./internal/runtime/
 	$(GO) run ./cmd/hdcps-bench -native -label smoke -scale tiny -reps 2 -o -
+	$(GO) run ./cmd/hdcps-bench -exp fairness-sweep -scale tiny
 
 # Bench regression gate: a short native run compared against the newest
 # run recorded in BENCH_native.json. Fails on throughput collapse (beyond

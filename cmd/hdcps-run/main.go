@@ -10,13 +10,20 @@
 //	hdcps-run -sched native -workload sssp -input road -queue twolevel
 //	hdcps-run -sched native -workload sssp -input road -queue multiqueue
 //	hdcps-run -sched native -workload sssp -input road -trace trace.jsonl -metrics :6060
+//	hdcps-run -sched native -workload sssp -input cage -jobs 4 -weights 4,2,1,1
 //	hdcps-run -chaos "seed=42,delay=0.1,dup=0.02,reorder=0.2" -workload sssp -input road
 //	hdcps-run -list
 //
 // For -sched native, -trace writes the observability layer's JSONL trace
-// (schema "hdcps-obs/v1": counters, sampled events, the drift/ref/TDF
-// control series) and -metrics serves expvar + pprof + a live counter
-// snapshot at /debug/obs while the run executes.
+// (schema "hdcps-obs/v2": counters, sampled events, per-job ledger rows,
+// the drift/ref/TDF control series) and -metrics serves expvar + pprof + a
+// live counter snapshot at /debug/obs while the run executes.
+//
+// -jobs K runs K concurrent clones of the workload as tenants of ONE native
+// engine (the multi-tenant job layer) with fair-share weights from -weights
+// (comma-separated, default all 1), and prints each tenant's conservation
+// ledger plus its measured share of processed tasks over the window where
+// every tenant was backlogged, against the share its weight entitles it to.
 //
 // -chaos runs the native runtime behind the fault-injecting transport
 // (executor "native-chaos") with the given mix spec ("default" for the
@@ -31,6 +38,7 @@ import (
 	"net/http"
 	_ "net/http/pprof" // register /debug/pprof on the -metrics server
 	"os"
+	"strconv"
 	"strings"
 
 	"hdcps/internal/chaos"
@@ -56,6 +64,8 @@ func main() {
 		trace     = flag.String("trace", "", "write the native runtime's JSONL observability trace here (\"-\" for stdout; -sched native only)")
 		metrics   = flag.String("metrics", "", "serve expvar/pprof/obs debug HTTP on this address during the run, e.g. :6060 (-sched native only)")
 		chaosSpec = flag.String("chaos", "", "run under fault injection with this mix, e.g. \"seed=42,delay=0.1,dup=0.02\" or \"default\" (native runtime only)")
+		jobsN     = flag.Int("jobs", 1, "run this many concurrent clones of the workload as tenants of one native engine (-sched native only)")
+		weightsCS = flag.String("weights", "", "comma-separated fair-share weights for -jobs tenants, e.g. 4,2,1,1 (default: all 1)")
 		// The accepted values come from runtime.QueueKinds() — both here and
 		// in validQueueKind — so a newly registered kind can never be
 		// silently missing from the CLI.
@@ -122,6 +132,17 @@ func main() {
 			}()
 			fmt.Fprintf(os.Stderr, "metrics: serving /debug/vars /debug/pprof/ /debug/obs on %s\n", *metrics)
 		}
+	}
+
+	if *jobsN > 1 {
+		if !native || isChaos {
+			fatal(fmt.Errorf("-jobs needs the plain native runtime (use -sched native)"))
+		}
+		runJobsCmd(w, g, *jobsN, *weightsCS, spec, rec, *trace, *verify)
+		return
+	}
+	if *weightsCS != "" {
+		fatal(fmt.Errorf("-weights needs -jobs > 1"))
 	}
 
 	var r stats.Run
@@ -206,6 +227,99 @@ func main() {
 		} else {
 			fmt.Println("verification:    OK")
 		}
+	}
+}
+
+// runJobsCmd executes n concurrent clones of the workload as tenants of one
+// native engine and prints per-job ledgers plus the weighted-fairness
+// verdict: each tenant's measured share of processed tasks over the
+// all-backlogged contention window against its weight share.
+func runJobsCmd(w workload.Workload, g *graph.CSR, n int, weightSpec string, spec exec.Spec, rec *obs.Recorder, tracePath string, verify bool) {
+	weights := make([]int, n)
+	for i := range weights {
+		weights[i] = 1
+	}
+	if weightSpec != "" {
+		parts := strings.Split(weightSpec, ",")
+		if len(parts) != n {
+			fatal(fmt.Errorf("-weights has %d entries, -jobs wants %d", len(parts), n))
+		}
+		for i, p := range parts {
+			v, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil || v <= 0 {
+				fatal(fmt.Errorf("-weights entry %q: want a positive integer", p))
+			}
+			weights[i] = v
+		}
+	}
+	ws := make([]workload.Workload, n)
+	jcs := make([]runtime.JobConfig, n)
+	ws[0] = w
+	for i := 1; i < n; i++ {
+		ws[i] = w.Clone()
+	}
+	for i := range ws {
+		jcs[i] = runtime.JobConfig{Name: fmt.Sprintf("%s-%d", w.Name(), i), Weight: weights[i]}
+	}
+	r, rep, err := exec.RunJobs(ws, jcs, spec)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("executor:        %s\n", r.Scheduler)
+	fmt.Printf("workload/input:  %s / %s (%d nodes, %d edges)\n",
+		r.Workload, r.Input, g.NumNodes(), g.NumEdges())
+	fmt.Printf("cores:           %d (native goroutines)\n", r.Cores)
+	fmt.Printf("completion time: %d ns\n", r.CompletionTime)
+	fmt.Printf("tasks processed: %d (all tenants)\n", r.TasksProcessed)
+	fmt.Printf("jobs:            %d tenants, weights %v\n", n, weights)
+	for i, js := range rep.Jobs {
+		fmt.Printf("job %d (%s): weight %d share %.3f (want %.3f) | submitted %d + spawned %d = processed %d + bags %d + quarantined %d + cancelled %d (outstanding %d)\n",
+			i, js.Name, js.Weight, rep.Shares[i], rep.WeightShares[i],
+			js.Submitted, js.Spawned, js.Processed, js.BagsRetired,
+			js.Quarantined, js.CancelledTasks, js.Outstanding)
+	}
+	fmt.Printf("fairness window: %d tasks, worst |share-want| %.4f\n",
+		rep.ShareSamples, rep.ShareError())
+	if rep.DrainErr != nil {
+		fatal(fmt.Errorf("drain stalled: %w", rep.DrainErr))
+	}
+	if rep.ConservationErr != nil {
+		fatal(fmt.Errorf("conservation FAILED: %w", rep.ConservationErr))
+	}
+	fmt.Println("conservation:    OK (global + per-job ledgers exact, rows partition the totals)")
+
+	if tracePath != "" && rec != nil {
+		err := func() error {
+			out := os.Stdout
+			if tracePath != "-" {
+				f, err := os.Create(tracePath)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				out = f
+			}
+			if err := rec.WriteJSONL(out); err != nil {
+				return err
+			}
+			return obs.WriteJobsJSONL(out, runtime.JobRows(rep.Jobs))
+		}()
+		if err != nil {
+			fatal(err)
+		}
+		if tracePath != "-" {
+			fmt.Printf("trace:           %s (%s)\n", tracePath, obs.TraceSchema)
+		}
+	}
+
+	if verify {
+		for i, tw := range ws {
+			if err := tw.Verify(); err != nil {
+				fatal(fmt.Errorf("verification FAILED for job %d: %w", i, err))
+			}
+		}
+		fmt.Printf("verification:    OK (%d tenants)\n", n)
 	}
 }
 

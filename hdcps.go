@@ -67,6 +67,22 @@ type (
 	Engine = runtime.Engine
 	// EngineSnapshot is a point-in-time view of a running Engine.
 	EngineSnapshot = runtime.Snapshot
+	// Job is a tenant handle on a multi-job Engine: its own Submit / Drain /
+	// Cancel / Snapshot lifecycle scoped to one workload, with weighted fair
+	// scheduling against the other tenants (Engine.NewJob, Engine.DefaultJob).
+	Job = runtime.Job
+	// JobID is the tenant identity carried by Task.Job (0 is the engine's
+	// default job).
+	JobID = task.JobID
+	// JobConfig parameterizes one tenant: name, fair-share weight, admission
+	// quota, TDF bias, and retry override.
+	JobConfig = runtime.JobConfig
+	// JobStats is one job's conservation-ledger row (Job.Snapshot,
+	// EngineSnapshot.Jobs).
+	JobStats = runtime.JobStats
+	// QuotaError is the admission-control rejection returned when a Submit
+	// would push a job past JobConfig.MaxOutstanding.
+	QuotaError = runtime.QuotaError
 	// RetryPolicy is the per-task fault budget: how many times a panicking
 	// task is retried before quarantine (NativeConfig.Retry; the zero value
 	// quarantines on first panic).
@@ -171,8 +187,13 @@ func RunNative(w Workload, cfg NativeConfig) NativeResult { return runtime.Run(w
 
 // NewEngine builds a long-lived native runtime over w. Call Start, then
 // Submit work (streaming is fine), Drain to wait for quiescence, and Stop
-// to shut the fleet down; Snapshot reads live counters at any point.
+// to shut the fleet down; Snapshot reads live counters at any point. For a
+// multi-tenant fleet register further workloads with Engine.NewJob — w is
+// job 0, the default tenant.
 func NewEngine(w Workload, cfg NativeConfig) *Engine { return runtime.NewEngine(w, cfg) }
+
+// ErrJobCancelled is returned by Job.Submit once the job has been cancelled.
+var ErrJobCancelled = runtime.ErrJobCancelled
 
 // DefaultNativeConfig returns the paper-tuned native configuration for the
 // given worker count.

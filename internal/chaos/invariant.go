@@ -12,14 +12,16 @@ import (
 // every successful Drain, where the conservation ledger must balance
 // exactly:
 //
-//	Submitted + Spawned == TasksProcessed + BagsRetired + Quarantined
+//	Submitted + Spawned == TasksProcessed + BagsRetired + Quarantined + Cancelled
 //
-// with Outstanding == 0. The exactness at quiescence is guaranteed by the
-// engine's publication ordering (every ledger term is stored before the
-// outstanding-count transition that makes it observable — see
-// internal/runtime/fault.go); mid-run, both sides can legitimately lead or
-// lag by in-flight work, which is why Live only checks the race-safe
-// subset.
+// with Outstanding == 0 — globally and for every job row the snapshot
+// carries, and the job rows must sum to the global ledger (identity is a
+// partition: every task belongs to exactly one tenant). The exactness at
+// quiescence is guaranteed by the engine's publication ordering (every
+// ledger term is stored before the outstanding-count transition that makes
+// it observable — see internal/runtime/fault.go); mid-run, both sides can
+// legitimately lead or lag by in-flight work, which is why Live only checks
+// the race-safe subset.
 //
 // A Checker is not safe for concurrent use; drive it from the goroutine
 // orchestrating Submit/Drain rounds.
@@ -33,6 +35,12 @@ func (c *Checker) Live(s runtime.Snapshot) error {
 	if s.Outstanding < 0 {
 		return fmt.Errorf("chaos: outstanding went negative (%d): double retirement", s.Outstanding)
 	}
+	for _, j := range s.Jobs {
+		if j.Outstanding < 0 {
+			return fmt.Errorf("chaos: job %d (%s) outstanding went negative (%d): double retirement",
+				j.Job, j.Name, j.Outstanding)
+		}
+	}
 	if err := c.monotone(s); err != nil {
 		return err
 	}
@@ -40,8 +48,9 @@ func (c *Checker) Live(s runtime.Snapshot) error {
 	return nil
 }
 
-// Quiescent checks the full conservation ledger. Call it only after a
-// successful Drain with no concurrent Submit.
+// Quiescent checks the full conservation ledger — the global equation, every
+// per-job equation, and that the job rows partition the global totals. Call
+// it only after a successful Drain with no concurrent Submit.
 func (c *Checker) Quiescent(s runtime.Snapshot) error {
 	if s.Outstanding != 0 {
 		return fmt.Errorf("chaos: quiescent snapshot has outstanding %d", s.Outstanding)
@@ -50,12 +59,51 @@ func (c *Checker) Quiescent(s runtime.Snapshot) error {
 		return err
 	}
 	in := s.Submitted + s.Spawned
-	out := s.TasksProcessed + s.BagsRetired + s.Quarantined
+	out := s.TasksProcessed + s.BagsRetired + s.Quarantined + s.Cancelled
 	if in != out {
 		return fmt.Errorf(
-			"chaos: conservation violated: submitted %d + spawned %d = %d != processed %d + bagsRetired %d + quarantined %d = %d (lost %d)",
+			"chaos: conservation violated: submitted %d + spawned %d = %d != processed %d + bagsRetired %d + quarantined %d + cancelled %d = %d (lost %d)",
 			s.Submitted, s.Spawned, in,
-			s.TasksProcessed, s.BagsRetired, s.Quarantined, out, in-out)
+			s.TasksProcessed, s.BagsRetired, s.Quarantined, s.Cancelled, out, in-out)
+	}
+	var sums runtime.JobStats
+	for _, j := range s.Jobs {
+		if j.Outstanding != 0 {
+			return fmt.Errorf("chaos: quiescent job %d (%s) has outstanding %d", j.Job, j.Name, j.Outstanding)
+		}
+		jin := j.Submitted + j.Spawned
+		jout := j.Processed + j.BagsRetired + j.Quarantined + j.CancelledTasks
+		if jin != jout {
+			return fmt.Errorf(
+				"chaos: job %d (%s) conservation violated: submitted %d + spawned %d = %d != processed %d + bagsRetired %d + quarantined %d + cancelled %d = %d (lost %d)",
+				j.Job, j.Name, j.Submitted, j.Spawned, jin,
+				j.Processed, j.BagsRetired, j.Quarantined, j.CancelledTasks, jout, jin-jout)
+		}
+		sums.Submitted += j.Submitted
+		sums.Spawned += j.Spawned
+		sums.Processed += j.Processed
+		sums.BagsRetired += j.BagsRetired
+		sums.Quarantined += j.Quarantined
+		sums.CancelledTasks += j.CancelledTasks
+	}
+	if len(s.Jobs) > 0 {
+		type pair struct {
+			name        string
+			jobs, total int64
+		}
+		for _, p := range []pair{
+			{"submitted", sums.Submitted, s.Submitted},
+			{"spawned", sums.Spawned, s.Spawned},
+			{"processed", sums.Processed, s.TasksProcessed},
+			{"bagsRetired", sums.BagsRetired, s.BagsRetired},
+			{"quarantined", sums.Quarantined, s.Quarantined},
+			{"cancelled", sums.CancelledTasks, s.Cancelled},
+		} {
+			if p.jobs != p.total {
+				return fmt.Errorf("chaos: job rows don't partition the global ledger: sum(%s) %d != global %d",
+					p.name, p.jobs, p.total)
+			}
+		}
 	}
 	c.prev, c.have = s, true
 	return nil
@@ -76,6 +124,7 @@ func (c *Checker) monotone(s runtime.Snapshot) error {
 		{"processed", c.prev.TasksProcessed, s.TasksProcessed},
 		{"bagsRetired", c.prev.BagsRetired, s.BagsRetired},
 		{"quarantined", c.prev.Quarantined, s.Quarantined},
+		{"cancelled", c.prev.Cancelled, s.Cancelled},
 		{"redirects", c.prev.Redirects, s.Redirects},
 	} {
 		if p.cur < p.prev {

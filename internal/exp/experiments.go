@@ -31,6 +31,7 @@ func init() {
 	register(Experiment{"motivation", "Ordering spectrum: unordered vs relaxed vs ordered (§II, extension)", motivation})
 	register(Experiment{"drift-timeline", "Native drift/TDF feedback timeline (obs trace)", driftTimeline})
 	register(Experiment{"queue-sweep", "Native local-queue shapes: heap vs dheap vs twolevel", queueSweep})
+	register(Experiment{"fairness-sweep", "Multi-tenant weighted fairness: measured vs entitled shares", fairnessSweep})
 }
 
 // runOne executes one (scheduler, pair) combination, verifies the workload

@@ -1,14 +1,20 @@
 package obs
 
 // Export paths for the recorder: a JSONL trace stream (one self-describing
-// JSON object per line, schema "hdcps-obs/v1"), an expvar.Func for the
+// JSON object per line, schema "hdcps-obs/v2"), an expvar.Func for the
 // /debug/vars ecosystem, and an http.Handler serving a point-in-time JSON
 // snapshot. The JSONL layout is deliberately grep/jq-friendly:
 //
-//	{"type":"meta","schema":"hdcps-obs/v1","workers":4,...}
+//	{"type":"meta","schema":"hdcps-obs/v2","workers":4,...}
 //	{"type":"counters","worker":0,"tasks_processed":123,...}
+//	{"type":"job","job":0,"name":"job-0","weight":1,"processed":123,...}
 //	{"type":"event","ts_ns":52100,"worker":1,"kind":"tdf-step","tdf":60,...}
 //	{"type":"control","interval":3,"drift":41.5,"ref":12,"tdf":70}
+//
+// v2 extends v1 with the per-job ledger rows ("job" lines), two counters
+// (tasks_cancelled, quota_rejects), and the cancel/quota-reject event kinds;
+// every v1 line is still a valid v2 line, and ReadTrace (trace_read.go)
+// accepts both versions.
 
 import (
 	"bufio"
@@ -20,8 +26,12 @@ import (
 	"time"
 )
 
-// TraceSchema identifies the JSONL trace layout.
-const TraceSchema = "hdcps-obs/v1"
+// TraceSchema identifies the JSONL trace layout. TraceSchemaV1 is the prior
+// layout (no job rows, no cancellation counters) that readers still accept.
+const (
+	TraceSchema   = "hdcps-obs/v2"
+	TraceSchemaV1 = "hdcps-obs/v1"
+)
 
 // jsonFields renders an event's kind-specific payload. Keeping the mapping
 // here (not on Event) makes the wire names the single source of truth.
@@ -30,7 +40,7 @@ func (e Event) jsonFields() map[string]any {
 	case EvTask:
 		return map[string]any{"prio": e.A, "processed": e.B, "edges": e.C}
 	case EvSubmit:
-		return map[string]any{"count": e.A}
+		return map[string]any{"count": e.A, "job": e.B}
 	case EvBagCreated:
 		return map[string]any{"prio": e.A, "size": e.B}
 	case EvBagOpened:
@@ -38,7 +48,7 @@ func (e Event) jsonFields() map[string]any {
 	case EvSpill:
 		return map[string]any{"tasks": e.A}
 	case EvDriftReport:
-		return map[string]any{"prio": e.A}
+		return map[string]any{"prio": e.A, "job": e.B}
 	case EvTDFStep:
 		return map[string]any{"tdf": e.A, "drift": math.Float64frombits(uint64(e.B)), "ref": e.C}
 	case EvPanic:
@@ -48,7 +58,11 @@ func (e Event) jsonFields() map[string]any {
 	case EvRedirect:
 		return map[string]any{"tasks": e.A}
 	case EvRankSample:
-		return map[string]any{"rank": e.A, "prio": e.B}
+		return map[string]any{"rank": e.A, "prio": e.B, "job": e.C}
+	case EvCancel:
+		return map[string]any{"tasks": e.A, "job": e.B}
+	case EvQuotaReject:
+		return map[string]any{"tasks": e.A, "job": e.B}
 	default: // park, wake, worker-restart: no payload
 		return nil
 	}
@@ -100,6 +114,48 @@ func (r *Recorder) WriteJSONL(w io.Writer) error {
 			return err
 		}
 		if _, err := fmt.Fprintf(bw, `{"type":"event",%s`+"\n", buf[1:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// JobRow is one job's ledger line in a v2 trace: the per-tenant conservation
+// equation (submitted+spawned == processed+bags_retired+quarantined+
+// cancelled_tasks+outstanding) plus scheduling-quality counters. The obs
+// layer does not depend on the runtime, so the engine maps its JobStats into
+// this wire shape when writing a trace.
+type JobRow struct {
+	Job       uint32 `json:"job"`
+	Name      string `json:"name"`
+	Weight    int    `json:"weight"`
+	Cancelled bool   `json:"cancelled"`
+
+	Outstanding    int64 `json:"outstanding"`
+	Submitted      int64 `json:"submitted"`
+	Spawned        int64 `json:"spawned"`
+	Processed      int64 `json:"processed"`
+	BagsRetired    int64 `json:"bags_retired"`
+	Quarantined    int64 `json:"quarantined"`
+	CancelledTasks int64 `json:"cancelled_tasks"`
+	QuotaRejected  int64 `json:"quota_rejected"`
+
+	RankSamples    int64 `json:"rank_samples"`
+	PrioInversions int64 `json:"prio_inversions"`
+	RankErrorSum   int64 `json:"rank_err_sum"`
+	RankErrorMax   int64 `json:"rank_err_max"`
+}
+
+// WriteJobsJSONL appends per-job ledger rows to a JSONL trace: one
+// {"type":"job",...} line per tenant (the v2 schema addition).
+func WriteJobsJSONL(w io.Writer, rows []JobRow) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range rows {
+		buf, err := json.Marshal(r)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(bw, `{"type":"job",%s`+"\n", buf[1:]); err != nil {
 			return err
 		}
 	}

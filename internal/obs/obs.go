@@ -77,6 +77,13 @@ const (
 	CRankErrSum     // sum of sampled rank errors (mean = sum / samples)
 	CRankErrMax     // max sampled rank error (gauge, not a sum)
 
+	// Multi-tenant counters (PR 7): the job layer's cancellation sink and
+	// admission control. CTasksCancelled is a gauge mirrored from each
+	// worker's cancellation total; CQuotaRejects counts tasks refused by a
+	// job's MaxOutstanding quota (external row — rejection happens at Submit).
+	CTasksCancelled // tasks discarded by job-scoped Cancel
+	CQuotaRejects   // tasks refused by per-job admission quotas
+
 	numCounters
 )
 
@@ -87,6 +94,7 @@ var counterNames = [numCounters]string{
 	"task_retries", "tasks_quarantined", "overflow_redirects",
 	"drift_clamped", "worker_restarts", "hot_spills", "queue_fallbacks",
 	"rank_samples", "prio_inversions", "rank_err_sum", "rank_err_max",
+	"tasks_cancelled", "quota_rejects",
 }
 
 // String returns the counter's snake_case export name.
@@ -103,19 +111,21 @@ type EventKind uint8
 // The event vocabulary of the runtime's layers.
 const (
 	EvTask          EventKind = iota // sampled task retirement: A=prio, B=worker total
-	EvSubmit                         // external injection: A=task count
+	EvSubmit                         // external injection: A=task count, B=job
 	EvBagCreated                     // A=bag prio, B=payload size
 	EvBagOpened                      // A=payload size
 	EvSpill                          // ring-full overflow spill: A=tasks spilled
 	EvPark                           // worker parked on a quiescent fleet
 	EvWake                           // worker woke from a park
-	EvDriftReport                    // Algorithm 3 report: A=reported prio
+	EvDriftReport                    // Algorithm 3 report: A=reported prio, B=job
 	EvTDFStep                        // Algorithm 2 update: A=new TDF, B=drift bits, C=ref prio
 	EvPanic                          // caught handler panic: A=prio, B=attempt
 	EvQuarantine                     // task quarantined: A=prio, B=attempts
 	EvRedirect                       // flow-control bounce kept local: A=task count
 	EvWorkerRestart                  // worker loop restarted after an internal panic
-	EvRankSample                     // sampled pop rank error: A=rank, B=popped prio
+	EvRankSample                     // sampled pop rank error: A=rank, B=popped prio, C=job
+	EvCancel                         // cancelled-job sweep: A=tasks discarded, B=job
+	EvQuotaReject                    // admission rejection: A=tasks refused, B=job
 
 	numEventKinds
 )
@@ -123,7 +133,7 @@ const (
 var eventNames = [numEventKinds]string{
 	"task", "submit", "bag-created", "bag-opened", "spill", "park", "wake",
 	"drift-report", "tdf-step", "panic", "quarantine", "redirect",
-	"worker-restart", "rank-sample",
+	"worker-restart", "rank-sample", "cancel", "quota-reject",
 }
 
 // String returns the kind's export name.

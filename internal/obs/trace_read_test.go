@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestReadTraceV2RoundTrip writes a full v2 trace — counters, events, job
+// ledger rows, control series — and reads it back, pinning the fields a
+// post-processor depends on.
+func TestReadTraceV2RoundTrip(t *testing.T) {
+	r := New(Config{Workers: 2, SampleEvery: 1})
+	r.TaskProcessed(0, 9, 1, 4)
+	r.Add(1, COverflowSpills, 1)
+	r.Event(1, EvSpill, 3, 0, 0)
+
+	jobs := []JobRow{
+		{Job: 0, Name: "keeper", Weight: 4, Submitted: 10, Spawned: 90,
+			Processed: 95, BagsRetired: 5, RankSamples: 12},
+		{Job: 1, Name: "victim", Weight: 1, Cancelled: true, Submitted: 3,
+			Spawned: 7, Processed: 4, CancelledTasks: 6, QuotaRejected: 2},
+	}
+	ctrl := ControlSeries([]float64{1.5, 2.5}, []int64{10, 11}, []int{50, 60})
+
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJobsJSONL(&buf, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteControlJSONL(&buf, ctrl); err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Meta.Schema != TraceSchema {
+		t.Errorf("schema %q, want %q", tr.Meta.Schema, TraceSchema)
+	}
+	if tr.Meta.Workers != 2 {
+		t.Errorf("workers %d, want 2", tr.Meta.Workers)
+	}
+	if len(tr.Counters) != 3 { // 2 workers + the external row
+		t.Errorf("%d counter rows, want 3", len(tr.Counters))
+	}
+	// SampleEvery:1 makes TaskProcessed emit a task event too.
+	if len(tr.Events) != 2 || tr.Events[1].Kind != "spill" {
+		t.Errorf("events = %+v, want [task, spill]", tr.Events)
+	}
+	if len(tr.Jobs) != 2 {
+		t.Fatalf("%d job rows, want 2", len(tr.Jobs))
+	}
+	if tr.Jobs[0] != jobs[0] || tr.Jobs[1] != jobs[1] {
+		t.Errorf("job rows did not round-trip:\ngot  %+v\nwant %+v", tr.Jobs, jobs)
+	}
+	if len(tr.Control) != 2 || tr.Control[1].TDF != 60 {
+		t.Errorf("control = %+v, want the 2-point series back", tr.Control)
+	}
+}
+
+// TestReadTraceV1Compat pins backward compatibility: a literal hdcps-obs/v1
+// trace (the schema every pre-multi-tenant release wrote — no job lines, no
+// per-job fields) must still decode, with Jobs simply empty. This fixture is
+// frozen text on purpose: it must keep decoding even after the writer moves
+// on, so do not regenerate it from the current writer.
+func TestReadTraceV1Compat(t *testing.T) {
+	const v1 = `{"type":"meta","schema":"hdcps-obs/v1","workers":2,"ring_size":1024,"sample_every":1,"events_total":1}
+{"type":"counters","worker":0,"tasks_processed":9,"edges_examined":4}
+{"type":"counters","worker":1,"overflow_spills":1}
+{"type":"event","ts_ns":123,"worker":1,"kind":"spill","n":3}
+{"type":"control","interval":0,"drift":1.5,"ref":10,"tdf":50}
+`
+	tr, err := ReadTrace(strings.NewReader(v1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Meta.Schema != TraceSchemaV1 {
+		t.Errorf("schema %q, want %q", tr.Meta.Schema, TraceSchemaV1)
+	}
+	if len(tr.Jobs) != 0 {
+		t.Errorf("v1 trace decoded %d job rows, want 0", len(tr.Jobs))
+	}
+	if len(tr.Counters) != 2 || tr.Counters[0]["tasks_processed"] != 9 {
+		t.Errorf("counters = %+v", tr.Counters)
+	}
+	if len(tr.Events) != 1 || tr.Events[0].Kind != "spill" || tr.Events[0].TS != 123 {
+		t.Errorf("events = %+v", tr.Events)
+	}
+	if len(tr.Control) != 1 || tr.Control[0].Drift != 1.5 {
+		t.Errorf("control = %+v", tr.Control)
+	}
+}
+
+// TestReadTraceRejectsUnknownSchema: versioning has teeth — a trace from a
+// future incompatible layout fails loudly instead of decoding garbage.
+func TestReadTraceRejectsUnknownSchema(t *testing.T) {
+	const future = `{"type":"meta","schema":"hdcps-obs/v99","workers":1}` + "\n"
+	if _, err := ReadTrace(strings.NewReader(future)); err == nil {
+		t.Fatal("unknown schema accepted")
+	}
+	if _, err := ReadTrace(strings.NewReader("")); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}

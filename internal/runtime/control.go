@@ -14,6 +14,7 @@ import (
 
 	"hdcps/internal/drift"
 	"hdcps/internal/obs"
+	"hdcps/internal/task"
 )
 
 // neverReported is the sentinel a worker's report slot holds before its
@@ -26,12 +27,18 @@ const neverReported = int64(1) << 62
 
 // controlPlane owns drift reporting and TDF propagation for one engine.
 type controlPlane struct {
-	useTDF bool
-	rec    *obs.Recorder // nil when observability is disabled
+	useTDF  bool
+	workers int
+	rec     *obs.Recorder // nil when observability is disabled
 
-	// reports holds each worker's latest priority (atomic access), seeded
-	// with neverReported.
-	reports     []int64
+	// reports is the per-job report matrix: reports[job][worker] holds the
+	// worker's latest priority within that job (atomic access), seeded with
+	// neverReported. Jobs have independent priority domains (their own graphs
+	// and scales), so drift must be measured within a job and only then
+	// combined — one flat row would fabricate drift between tenants whose
+	// priorities are merely on different scales. The matrix is COW: addJob
+	// publishes a grown copy, readers pay one atomic pointer load.
+	reports     atomic.Pointer[[][]int64]
 	reportCount atomic.Int64
 	// clamped counts out-of-range priority reports rejected at the
 	// boundary (negative, or colliding with the never-reported sentinel)
@@ -53,13 +60,12 @@ type controlPlane struct {
 func newControlPlane(cfg Config) *controlPlane {
 	cp := &controlPlane{
 		useTDF:  cfg.UseTDF,
+		workers: cfg.Workers,
 		rec:     cfg.Obs,
-		reports: make([]int64, cfg.Workers),
 		ctrl:    drift.NewController(cfg.Drift),
 	}
-	for i := range cp.reports {
-		cp.reports[i] = neverReported
-	}
+	rows := [][]int64{cp.newRow()}
+	cp.reports.Store(&rows)
 	if cfg.UseTDF {
 		cp.tdf.Store(int64(cp.ctrl.TDF()))
 	} else {
@@ -75,18 +81,44 @@ func newControlPlane(cfg Config) *controlPlane {
 // TDF returns the current task-distribution factor in percent.
 func (cp *controlPlane) TDF() int64 { return cp.tdf.Load() }
 
+// newRow builds one job's report row, every slot at the sentinel.
+func (cp *controlPlane) newRow() []int64 {
+	row := make([]int64, cp.workers)
+	for i := range row {
+		row[i] = neverReported
+	}
+	return row
+}
+
+// addJob grows the report matrix by one job row. Called under the engine's
+// jobMu before the job becomes visible in the job table, so no Report for
+// the new JobID can precede its row.
+func (cp *controlPlane) addJob() {
+	cp.mu.Lock()
+	rows := *cp.reports.Load()
+	grown := make([][]int64, len(rows)+1)
+	copy(grown, rows)
+	grown[len(rows)] = cp.newRow()
+	cp.reports.Store(&grown)
+	cp.mu.Unlock()
+}
+
 // SampleInterval returns the per-worker report spacing in processed tasks.
 func (cp *controlPlane) SampleInterval() int64 {
 	return int64(cp.ctrl.Config().SampleInterval)
 }
 
 // Report implements Algorithm 3's send plus the master-side Algorithm 2
-// step: the reporting worker stores its latest priority, and whichever
-// report completes an interval (one report per worker's worth of sends)
-// assembles the snapshot and runs the controller. Workers that have never
-// reported are excluded from the snapshot rather than contributing stale
-// zeros.
-func (cp *controlPlane) Report(id int, prio int64) {
+// step: the reporting worker stores its latest priority in its slot of the
+// task's job row, and whichever report completes an interval (one report per
+// worker's worth of sends) assembles the snapshot and runs the controller.
+// Drift is measured within each job (priorities of different tenants live on
+// unrelated scales) and the per-job drifts are combined weighted by how many
+// workers reported for the job, so a tenant carrying most of the fleet's
+// work dominates the feedback signal. The published reference is the
+// dominant job's. Workers that have never reported for a job are excluded
+// from that job's snapshot rather than contributing stale zeros.
+func (cp *controlPlane) Report(id int, job task.JobID, prio int64) {
 	// Validate at the boundary: a handler that emits a negative priority or
 	// one colliding with the never-reported sentinel would fabricate a huge
 	// drift term (Equation 1's reference is the minimum report) and walk
@@ -102,29 +134,51 @@ func (cp *controlPlane) Report(id int, prio int64) {
 			rec.Add(id, obs.CDriftClamped, 1)
 		}
 	}
-	atomic.StoreInt64(&cp.reports[id], prio)
+	rows := *cp.reports.Load()
+	if int(job) >= len(rows) {
+		job = 0
+	}
+	atomic.StoreInt64(&rows[job][id], prio)
 	if rec := cp.rec; rec != nil {
 		rec.Add(id, obs.CDriftReports, 1)
-		rec.Event(id, obs.EvDriftReport, prio, 0, 0)
+		rec.Event(id, obs.EvDriftReport, prio, int64(job), 0)
 	}
-	if cp.reportCount.Add(1) < int64(len(cp.reports)) {
+	if cp.reportCount.Add(1) < int64(cp.workers) {
 		return
 	}
 	cp.reportCount.Store(0)
 	if !cp.useTDF {
 		return
 	}
-	snapshot := make([]int64, 0, len(cp.reports))
-	for i := range cp.reports {
-		if p := atomic.LoadInt64(&cp.reports[i]); p != neverReported {
-			snapshot = append(snapshot, p)
+	var (
+		snapshot  = make([]int64, 0, cp.workers)
+		driftSum  float64
+		weightSum float64
+		ref       int64
+		refCount  int
+	)
+	for _, row := range rows {
+		snapshot = snapshot[:0]
+		for i := range row {
+			if p := atomic.LoadInt64(&row[i]); p != neverReported {
+				snapshot = append(snapshot, p)
+			}
+		}
+		if len(snapshot) == 0 {
+			continue
+		}
+		jref := drift.MinReference(snapshot)
+		driftSum += drift.Drift(snapshot, jref) * float64(len(snapshot))
+		weightSum += float64(len(snapshot))
+		if len(snapshot) > refCount {
+			refCount = len(snapshot)
+			ref = jref
 		}
 	}
-	if len(snapshot) == 0 {
+	if weightSum == 0 {
 		return
 	}
-	ref := drift.MinReference(snapshot)
-	pd := drift.Drift(snapshot, ref)
+	pd := driftSum / weightSum
 	cp.mu.Lock()
 	tdf := cp.ctrl.UpdateWithRef(pd, ref)
 	cp.mu.Unlock()

@@ -15,7 +15,7 @@ func TestControlPlaneExcludesNeverReported(t *testing.T) {
 	cfg := Config{Workers: 4, UseTDF: true}.withDefaults()
 	cp := newControlPlane(cfg)
 	for i := 0; i < 4; i++ {
-		cp.Report(0, 1000)
+		cp.Report(0, 0, 1000)
 	}
 	h := cp.History()
 	if len(h) != 1 {
@@ -30,7 +30,7 @@ func TestControlPlaneFullSnapshotDrift(t *testing.T) {
 	cfg := Config{Workers: 4, UseTDF: true}.withDefaults()
 	cp := newControlPlane(cfg)
 	for i, p := range []int64{100, 200, 300, 400} {
-		cp.Report(i, p)
+		cp.Report(i, 0, p)
 	}
 	h := cp.History()
 	if len(h) != 1 {
@@ -48,8 +48,8 @@ func TestControlPlaneFixedTDF(t *testing.T) {
 	if cp.TDF() != 70 {
 		t.Fatalf("TDF %d, want 70", cp.TDF())
 	}
-	cp.Report(0, 5)
-	cp.Report(1, 10)
+	cp.Report(0, 0, 5)
+	cp.Report(1, 0, 10)
 	if cp.TDF() != 70 {
 		t.Fatalf("fixed TDF moved to %d", cp.TDF())
 	}
@@ -74,8 +74,8 @@ func TestControlPlaneClampsOutOfRangePriorities(t *testing.T) {
 	cfg := Config{Workers: 2, UseTDF: true, Obs: rec}.withDefaults()
 	cp := newControlPlane(cfg)
 
-	cp.Report(0, -1<<40)          // negative: clamps to 0
-	cp.Report(1, neverReported+7) // sentinel collision: clamps to neverReported-1
+	cp.Report(0, 0, -1<<40)          // negative: clamps to 0
+	cp.Report(1, 0, neverReported+7) // sentinel collision: clamps to neverReported-1
 	if got := cp.Clamped(); got != 2 {
 		t.Fatalf("clamped = %d, want 2", got)
 	}
@@ -96,8 +96,8 @@ func TestControlPlaneClampsOutOfRangePriorities(t *testing.T) {
 	}
 
 	// In-range reports don't touch the counter.
-	cp.Report(0, 100)
-	cp.Report(1, 200)
+	cp.Report(0, 0, 100)
+	cp.Report(1, 0, 200)
 	if got := cp.Clamped(); got != 2 {
 		t.Fatalf("in-range report counted as clamped: %d", got)
 	}
@@ -111,10 +111,10 @@ func TestControlPlaneAdaptive(t *testing.T) {
 	}
 	// First interval records a baseline, second (improving drift, default
 	// OnImprove=Increase) raises the TDF.
-	cp.Report(0, 100)
-	cp.Report(1, 300) // drift 100
-	cp.Report(0, 100)
-	cp.Report(1, 150) // drift 25: improved
+	cp.Report(0, 0, 100)
+	cp.Report(1, 0, 300) // drift 100
+	cp.Report(0, 0, 100)
+	cp.Report(1, 0, 150) // drift 25: improved
 	if cp.TDF() != 60 {
 		t.Fatalf("TDF %d after improving drift, want 60", cp.TDF())
 	}

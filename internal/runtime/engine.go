@@ -25,6 +25,7 @@ package runtime
 import (
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	stdruntime "runtime"
 	"runtime/pprof"
@@ -36,7 +37,6 @@ import (
 	"hdcps/internal/bag"
 	"hdcps/internal/graph"
 	"hdcps/internal/obs"
-	"hdcps/internal/pq"
 	"hdcps/internal/task"
 	"hdcps/internal/workload"
 )
@@ -80,11 +80,13 @@ type Engine struct {
 
 	sampleInterval int64
 
-	// off is the workload graph's CSR row-offset array, held so the batched
-	// worker loop can prefetch the next task's row bounds while the current
-	// task's relaxation is still in flight (nil when the workload has no
-	// graph — prefetch is then skipped).
-	off []uint32
+	// jobs is the COW tenant table, indexed by task.JobID. Job 0 is the
+	// workload the engine was constructed over; NewJob appends under jobMu
+	// and publishes a fresh slice, so readers (every worker, every Submit)
+	// pay one atomic pointer load and never lock. Jobs are never removed —
+	// a JobID stays valid for the engine's lifetime.
+	jobs  atomic.Pointer[[]*jobState]
+	jobMu sync.Mutex
 
 	// outstanding counts every task (and bag) emitted but not yet fully
 	// processed; zero means the system is quiescent.
@@ -114,19 +116,32 @@ type Engine struct {
 }
 
 type worker struct {
-	id    int
-	queue LocalQueue
-	// tl is the devirtualized view of the default local queue: non-nil when
-	// queue is the stock two-level shape, letting the hot loop's push/pop
-	// make direct (inlinable) calls instead of interface dispatch per task.
-	// Custom or heap-backed queues take the interface path (qpush/qpop).
-	tl *pq.TwoLevel
-	// mq is the devirtualized view of the relaxed MultiQueue handle
-	// (QueueMultiQueue): non-nil when this worker's "local" queue is a
-	// handle into the fleet-shared MultiQueue. Besides skipping interface
-	// dispatch, it gives the rank-error sampler access to the queue's
-	// lock-free sharded min witness.
-	mq  *pq.MQHandle
+	id  int
+	eng *Engine // backref for the queue shims and the guarded restart path
+
+	// jqs is the worker's per-job queue set, indexed by task.JobID and
+	// materialized lazily on a job's first local task. act is the round-robin
+	// ring of jobs with queued work; the batch fill rotates over it with a
+	// deficit-round-robin balance per queue (workerJQ.deficit, deposited
+	// weight*drrQuantum per visit, charged per retired task), which is the
+	// job-level scheduling layer: weighted fair task shares across tenants,
+	// task-priority order within each tenant's queue. Only this worker's
+	// goroutine touches any of it (pre-start submits run under the fleet
+	// lock before workers exist).
+	jqs    []*workerJQ
+	act    []*workerJQ
+	actPos int
+	cur    *workerJQ
+	// dirtyJQ is the set of job queues holding unflushed ledger deltas,
+	// drained at batch boundaries (flushBatchAccts).
+	dirtyJQ []*workerJQ
+	// nJobs is how many entries of the engine's job table this worker has
+	// registered (multiqueue only: shared structures make job activation
+	// non-local, so every known job stays active — see syncJobs).
+	nJobs int
+	// mqKind notes the multiqueue regime once, off the engine config.
+	mqKind bool
+
 	rng *graph.RNG
 
 	// batch is the dequeue batch (Config.BatchK): the loop pops up to
@@ -163,6 +178,7 @@ type worker struct {
 	idleParks   int64
 	spawned     int64
 	bagsRetired int64
+	cancelled   int64 // tasks discarded into the cancellation ledger sink
 	redirects   int64
 	sinceReport int64
 	sinceFlush  int
@@ -202,6 +218,7 @@ type worker struct {
 	pubIdleParks   *atomic.Int64
 	pubSpawned     *atomic.Int64
 	pubBagsRetired *atomic.Int64
+	pubCancelled   *atomic.Int64
 	pubRedirects   *atomic.Int64
 	pubHotSpills   *atomic.Int64
 	pubFallbacks   *atomic.Int64
@@ -209,7 +226,7 @@ type worker struct {
 	pubInversions  *atomic.Int64
 	pubRankErrSum  *atomic.Int64
 	pubRankErrMax  *atomic.Int64
-	pubLocal       [13]atomic.Int64
+	pubLocal       [14]atomic.Int64
 
 	// prefetchSink receives the batched loop's CSR-offset loads; writing
 	// them to a field keeps the loads from being dead-code-eliminated.
@@ -218,36 +235,102 @@ type worker struct {
 	_pad [4]int64 // reduce false sharing between workers
 }
 
-// qpush, qpop, and qpeek route the worker's local-queue traffic through the
-// devirtualized two-level or multiqueue shapes when one is in use, or the
-// LocalQueue interface otherwise.
+// jobQueue returns this worker's queue for the given job, materializing it
+// on first use. Only the owning worker (or a pre-start Submit under the
+// fleet lock) calls it.
+func (me *worker) jobQueue(js *jobState) *workerJQ {
+	id := int(js.id)
+	if id >= len(me.jqs) {
+		grown := make([]*workerJQ, id+1)
+		copy(grown, me.jqs)
+		me.jqs = grown
+	}
+	if q := me.jqs[id]; q != nil {
+		return q
+	}
+	q := newWorkerJQ(me.eng.cfg, js)
+	me.jqs[id] = q
+	return q
+}
+
+// activate adds a job queue to the round-robin ring; deactivate removes it
+// (swap-delete: the ring is small and order across rounds is what matters).
+func (me *worker) activate(q *workerJQ) {
+	if !q.active {
+		q.active = true
+		me.act = append(me.act, q)
+	}
+}
+
+func (me *worker) deactivate(q *workerJQ) {
+	if !q.active {
+		return
+	}
+	q.active = false
+	for i, x := range me.act {
+		if x == q {
+			last := len(me.act) - 1
+			me.act[i] = me.act[last]
+			me.act[last] = nil
+			me.act = me.act[:last]
+			if me.actPos >= last && last > 0 {
+				me.actPos = 0
+			}
+			break
+		}
+	}
+	if me.cur == q {
+		me.cur = nil
+	}
+}
+
+// syncJobs registers every job the engine knows into this worker's active
+// ring (multiqueue only). Shared structures make activation non-local —
+// another worker's push is invisible to this worker's handle until a pop
+// finds it — so under multiqueue every live job stays active and the batch
+// fill's miss counter provides idle detection instead.
+func (me *worker) syncJobs(e *Engine) {
+	jobs := *e.jobs.Load()
+	if me.nJobs == len(jobs) {
+		return
+	}
+	for _, js := range jobs[me.nJobs:] {
+		q := me.jobQueue(js)
+		if !js.cancelled.Load() {
+			me.activate(q)
+		}
+	}
+	me.nJobs = len(jobs)
+}
+
+// markDirty queues a job queue's deferred ledger deltas for the next
+// batch-boundary flush.
+func (me *worker) markDirty(q *workerJQ) {
+	if !q.dirty {
+		q.dirty = true
+		me.dirtyJQ = append(me.dirtyJQ, q)
+	}
+}
+
+// qpush and qpop are the single-queue-era shims the restart-requeue path and
+// white-box tests still use: push routes through the engine's job-aware push
+// (cancellation check included), pop sweeps the job queues in table order
+// ignoring fairness credit (tests only — the hot path batch fill is
+// fillBatch).
 func (me *worker) qpush(t task.Task) {
-	if me.tl != nil {
-		me.tl.Push(t)
-		return
-	}
-	if me.mq != nil {
-		me.mq.Push(t)
-		return
-	}
-	me.queue.Push(t)
+	me.eng.push(me, t)
 }
 
 func (me *worker) qpop() (task.Task, bool) {
-	if me.tl != nil {
-		return me.tl.Pop()
+	for _, q := range me.jqs {
+		if q == nil {
+			continue
+		}
+		if t, ok := q.pop(); ok {
+			return t, ok
+		}
 	}
-	if me.mq != nil {
-		return me.mq.Pop()
-	}
-	return me.queue.Pop()
-}
-
-func (me *worker) qpeek() (task.Task, bool) {
-	if me.tl != nil {
-		return me.tl.Peek()
-	}
-	return me.queue.Peek()
+	return task.Task{}, false
 }
 
 // publish mirrors the worker-local counters into their atomic shadows.
@@ -258,12 +341,18 @@ func (me *worker) publish() {
 	me.pubIdleParks.Store(me.idleParks)
 	me.pubSpawned.Store(me.spawned)
 	me.pubBagsRetired.Store(me.bagsRetired)
+	me.pubCancelled.Store(me.cancelled)
 	me.pubRedirects.Store(me.redirects)
-	if me.tl != nil {
-		st := me.tl.Stats()
-		me.pubHotSpills.Store(st.Spills)
-		me.pubFallbacks.Store(st.Fallbacks)
+	var spills, fallbacks int64
+	for _, q := range me.jqs {
+		if q != nil && q.tl != nil {
+			st := q.tl.Stats()
+			spills += st.Spills
+			fallbacks += st.Fallbacks
+		}
 	}
+	me.pubHotSpills.Store(spills)
+	me.pubFallbacks.Store(fallbacks)
 	me.pubRankSamples.Store(me.rankSamples)
 	me.pubInversions.Store(me.inversions)
 	me.pubRankErrSum.Store(me.rankErrSum)
@@ -271,7 +360,8 @@ func (me *worker) publish() {
 }
 
 // NewEngine builds an engine over w (which is Reset) with cfg defaults
-// applied. The engine is inert until Start.
+// applied; w becomes job 0, the engine's default tenant. Register further
+// tenants with NewJob. The engine is inert until Start.
 func NewEngine(w workload.Workload, cfg Config) *Engine {
 	cfg = cfg.withDefaults()
 	w.Reset()
@@ -286,22 +376,21 @@ func NewEngine(w workload.Workload, cfg Config) *Engine {
 	}
 	e.cond = sync.NewCond(&e.mu)
 	e.sampleInterval = e.control.SampleInterval()
-	if g := w.Graph(); g != nil {
-		e.off = g.Off
-	}
+	// w was already Reset above; NewJob would Reset it again, so seed the
+	// table directly.
+	jobs := []*jobState{newJobState(0, w, cfg.DefaultJob, cfg)}
+	e.jobs.Store(&jobs)
 	if cfg.NewTransport != nil {
 		e.transport = cfg.NewTransport(cfg)
 	} else {
 		e.transport = newRingTransport(cfg.Workers, cfg.RingSize, cfg.BatchSize, cfg.OverflowCap, cfg.Obs)
 	}
 	e.rt, _ = e.transport.(*ringTransport)
-	queues := newLocalQueues(cfg)
 	for i := range e.workers {
 		me := &e.workers[i]
 		me.id = i
-		me.queue = queues[i]
-		me.tl, _ = me.queue.(*pq.TwoLevel)
-		me.mq, _ = me.queue.(*pq.MQHandle)
+		me.eng = e
+		me.mqKind = cfg.Queue == nil && cfg.QueueKind == QueueMultiQueue
 		me.rng = graph.NewRNG(cfg.Seed + uint64(i)*0x9e3779b9)
 		me.batch = make([]task.Task, cfg.BatchK)
 		me.children = make([]task.Task, 0, 16)
@@ -321,6 +410,7 @@ func NewEngine(w workload.Workload, cfg Config) *Engine {
 			me.pubIdleParks = rec.CounterSlot(i, obs.CIdleParks)
 			me.pubSpawned = rec.CounterSlot(i, obs.CTasksSpawned)
 			me.pubBagsRetired = rec.CounterSlot(i, obs.CBagsRetired)
+			me.pubCancelled = rec.CounterSlot(i, obs.CTasksCancelled)
 			me.pubRedirects = rec.CounterSlot(i, obs.COverflowRedirects)
 			me.pubHotSpills = rec.CounterSlot(i, obs.CHotSpills)
 			me.pubFallbacks = rec.CounterSlot(i, obs.CQueueFallbacks)
@@ -335,13 +425,14 @@ func NewEngine(w workload.Workload, cfg Config) *Engine {
 			me.pubIdleParks = &me.pubLocal[3]
 			me.pubSpawned = &me.pubLocal[4]
 			me.pubBagsRetired = &me.pubLocal[5]
-			me.pubRedirects = &me.pubLocal[6]
-			me.pubHotSpills = &me.pubLocal[7]
-			me.pubFallbacks = &me.pubLocal[8]
-			me.pubRankSamples = &me.pubLocal[9]
-			me.pubInversions = &me.pubLocal[10]
-			me.pubRankErrSum = &me.pubLocal[11]
-			me.pubRankErrMax = &me.pubLocal[12]
+			me.pubCancelled = &me.pubLocal[6]
+			me.pubRedirects = &me.pubLocal[7]
+			me.pubHotSpills = &me.pubLocal[8]
+			me.pubFallbacks = &me.pubLocal[9]
+			me.pubRankSamples = &me.pubLocal[10]
+			me.pubInversions = &me.pubLocal[11]
+			me.pubRankErrSum = &me.pubLocal[12]
+			me.pubRankErrMax = &me.pubLocal[13]
 		}
 	}
 	if cfg.Obs != nil {
@@ -394,8 +485,11 @@ func (e *Engine) Start() error {
 // Submit injects tasks into the engine, waking any parked workers. It is
 // safe to call from any number of goroutines, before or while the fleet
 // runs. Tasks are spread round-robin across workers through the transport.
-// Submitting to a stopped engine returns ErrStopped (tasks racing a
-// concurrent Stop may be abandoned unprocessed, like all in-flight work).
+// Each task's Job field is honored (out-of-range IDs fold into job 0), so a
+// resubmitted task stays billed to its tenant; per-job admission quotas and
+// cancellation apply per job, all-or-nothing across the batch. Submitting to
+// a stopped engine returns ErrStopped (tasks racing a concurrent Stop may be
+// abandoned unprocessed, like all in-flight work).
 func (e *Engine) Submit(ts ...task.Task) error {
 	if len(ts) == 0 {
 		return nil
@@ -403,24 +497,89 @@ func (e *Engine) Submit(ts ...task.Task) error {
 	if e.stop.Load() {
 		return ErrStopped
 	}
-	if e.state.Load() == stateNew && e.submitIdle(ts) {
+	jobs := *e.jobs.Load()
+	// Fold bogus IDs into the default job in place, and detect the common
+	// single-tenant batch so it pays no grouping.
+	uniform := true
+	for i := range ts {
+		if int(ts[i].Job) >= len(jobs) {
+			ts[i].Job = 0
+		}
+		if ts[i].Job != ts[0].Job {
+			uniform = false
+		}
+	}
+	if uniform {
+		return e.submitJob(jobs[ts[0].Job], ts)
+	}
+	// Mixed batch: group per job, admission-check every group, then submit
+	// group by group (all-or-nothing across the batch up to benign races
+	// with concurrent submitters).
+	groups := make(map[task.JobID][]task.Task)
+	for _, t := range ts {
+		groups[t.Job] = append(groups[t.Job], t)
+	}
+	for id, g := range groups {
+		if err := e.admit(jobs[id], len(g)); err != nil {
+			return err
+		}
+	}
+	for id, g := range groups {
+		if err := e.submitJob(jobs[id], g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// admit runs a job's admission checks for a batch of n tasks without
+// submitting anything.
+func (e *Engine) admit(js *jobState, n int) error {
+	if js.cancelled.Load() {
+		return fmt.Errorf("runtime: job %d (%s): %w", js.id, js.name, ErrJobCancelled)
+	}
+	if q := js.quota; q > 0 {
+		if out := js.outstanding.Load(); out+int64(n) > q {
+			js.rejected.Add(int64(n))
+			if rec := e.obs; rec != nil {
+				rec.Add(obs.External, obs.CQuotaRejects, int64(n))
+				rec.Event(obs.External, obs.EvQuotaReject, int64(n), int64(js.id), 0)
+			}
+			return &QuotaError{Job: js.id, Name: js.name, Limit: q, Outstanding: out, Tasks: n}
+		}
+	}
+	return nil
+}
+
+// submitJob is the single-tenant submission path: admission, then the
+// ledger entries (per-job and global, adds before visibility), then
+// publication through the transport.
+func (e *Engine) submitJob(js *jobState, ts []task.Task) error {
+	if err := e.admit(js, len(ts)); err != nil {
+		return err
+	}
+	if e.state.Load() == stateNew && e.submitIdle(js, ts) {
 		return nil
 	}
-	// The ledger entry lands first, then the count, then the tasks are
+	// The ledger entries land first, then the counts, then the tasks are
 	// published — preserving both the outstanding-never-falsely-zero
-	// invariant and the conservation ledger's at-quiescence exactness.
-	e.submitted.Add(int64(len(ts)))
-	e.outstanding.Add(int64(len(ts)))
+	// invariant and the conservation ledgers' at-quiescence exactness, per
+	// job and globally.
+	n := int64(len(ts))
+	js.submitted.Add(n)
+	js.outstanding.Add(n)
+	e.submitted.Add(n)
+	e.outstanding.Add(n)
 	if rec := e.obs; rec != nil {
-		rec.Add(obs.External, obs.CTasksSubmitted, int64(len(ts)))
-		rec.Event(obs.External, obs.EvSubmit, int64(len(ts)), 0, 0)
+		rec.Add(obs.External, obs.CTasksSubmitted, n)
+		rec.Event(obs.External, obs.EvSubmit, n, int64(js.id), 0)
 	}
-	if n := len(e.workers); n == 1 {
+	if nw := len(e.workers); nw == 1 {
 		e.transport.Inject(0, ts)
 	} else {
-		buckets := make([][]task.Task, n)
+		buckets := make([][]task.Task, nw)
 		for i, t := range ts {
-			d := i % n
+			d := i % nw
 			buckets[d] = append(buckets[d], t)
 		}
 		for d, b := range buckets {
@@ -440,34 +599,42 @@ func (e *Engine) Submit(ts ...task.Task) error {
 // transitions out of stateNew under the same lock — so a racing Start either
 // sees the tasks already queued or makes this report false and the caller
 // falls back to the transport path.
-func (e *Engine) submitIdle(ts []task.Task) bool {
+func (e *Engine) submitIdle(js *jobState, ts []task.Task) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.state.Load() != stateNew {
 		return false
 	}
-	e.submitted.Add(int64(len(ts)))
-	e.outstanding.Add(int64(len(ts)))
+	n := int64(len(ts))
+	js.submitted.Add(n)
+	js.outstanding.Add(n)
+	e.submitted.Add(n)
+	e.outstanding.Add(n)
 	if rec := e.obs; rec != nil {
-		rec.Add(obs.External, obs.CTasksSubmitted, int64(len(ts)))
-		rec.Event(obs.External, obs.EvSubmit, int64(len(ts)), 0, 0)
+		rec.Add(obs.External, obs.CTasksSubmitted, n)
+		rec.Event(obs.External, obs.EvSubmit, n, int64(js.id), 0)
 	}
-	n := len(e.workers)
+	nw := len(e.workers)
 	for i, t := range ts {
-		e.workers[i%n].qpush(t)
+		me := &e.workers[i%nw]
+		e.push(me, t)
 	}
 	e.epoch.Add(1)
 	return true
 }
 
-// Drain blocks until the engine is quiescent — every submitted task and all
-// transitively generated work fully processed or quarantined — or ctx is
-// cancelled, in which case it returns a *StallError wrapping ctx.Err() with
-// per-worker diagnostics. With Config.StallTimeout set, a fleet that makes
-// no progress for that long returns a *StallError wrapping ErrStalled even
-// under a background context, so Drain can never block forever on a wedged
-// engine. The fleet stays running (parked) afterwards; more work may be
-// Submitted.
+// Drain blocks until the whole engine is quiescent — every task of every
+// job, submitted or transitively generated, fully processed, quarantined, or
+// cancelled — or ctx is cancelled, in which case it returns a *StallError
+// wrapping ctx.Err() with per-worker diagnostics. With Config.StallTimeout
+// set, a fleet that makes no progress for that long returns a *StallError
+// wrapping ErrStalled even under a background context, so Drain can never
+// block forever on a wedged engine. The fleet stays running (parked)
+// afterwards; more work may be Submitted.
+//
+// This is the engine-wide wait: it spans all tenants, so one slow job holds
+// it open. To wait on (or diagnose) a single tenant, use Job.Drain — its
+// stall diagnostics carry the blocking job's ID and per-job ledger.
 func (e *Engine) Drain(ctx context.Context) error {
 	// Hot phase: quiescence usually lands within microseconds of the last
 	// retired task, so poll briefly before arming timers.
@@ -519,7 +686,7 @@ func (e *Engine) Drain(ctx context.Context) error {
 func (e *Engine) ledgerMark() int64 {
 	m := e.submitted.Load() + e.faults.nQuarantined.Load() + e.faults.panics.Load()
 	for i := range e.workers {
-		m += e.workers[i].pubProcessed.Load()
+		m += e.workers[i].pubProcessed.Load() + e.workers[i].pubCancelled.Load()
 	}
 	return m
 }
@@ -637,18 +804,63 @@ func (e *Engine) flush(me *worker) {
 }
 
 // redirect keeps flow-control-rejected tasks on the sending worker: they go
-// into its own local queue instead of growing a saturated destination's
+// into its own local queues instead of growing a saturated destination's
 // overflow without bound. Outstanding accounting is untouched — the tasks
-// were already counted when they were spawned.
+// were already counted when they were spawned (a cancelled job's bounce is
+// discarded by push like any other arrival).
 func (e *Engine) redirect(me *worker, ts []task.Task) {
 	for _, t := range ts {
-		me.qpush(t)
+		e.push(me, t)
 	}
 	me.redirects += int64(len(ts))
 	me.pubRedirects.Store(me.redirects)
 	if rec := e.obs; rec != nil {
 		rec.Event(me.id, obs.EvRedirect, int64(len(ts)), 0, 0)
 	}
+}
+
+// push lands one arriving task (recv, redirect, requeue, local dispatch, or
+// pre-start seed) in this worker's queue for the task's job — or, when the
+// job is cancelled, discards it straight into the cancellation sink.
+func (e *Engine) push(me *worker, t task.Task) {
+	js := e.jobStateFor(t.Job)
+	q := me.jobQueue(js)
+	if js.cancelled.Load() {
+		e.discard(me, q, t)
+		return
+	}
+	q.push(t)
+	if !me.mqKind {
+		me.activate(q)
+	}
+}
+
+// discard retires one unit of a cancelled job without executing it: a plain
+// task counts one cancellation; a bag marker resolves its payload, counts
+// every payload task as cancelled, and retires the bag itself. The ledger
+// deltas are deferred to the batch boundary exactly like processing's
+// (flushBatchAccts preserves the retirement-before-outstanding order).
+func (e *Engine) discard(me *worker, q *workerJQ, t task.Task) {
+	if t.Node == bagMarker {
+		owner, idx := int(t.Data>>32), uint32(t.Data)
+		st := &e.workers[owner].store
+		s := st.get(idx)
+		n := int64(len(s.tasks))
+		st.release(s)
+		me.cancelled += n
+		me.bagsRetired++
+		me.pubBagsRetired.Store(me.bagsRetired)
+		q.dCancelled += n
+		q.dBagsRetired++
+		q.dOut -= n + 1
+		me.acct -= n + 1
+	} else {
+		me.cancelled++
+		q.dCancelled++
+		q.dOut--
+		me.acct--
+	}
+	me.markDirty(q)
 }
 
 // runWorkerGuarded runs the worker loop, recovering any panic that escapes
@@ -678,12 +890,9 @@ func (e *Engine) runWorker(id int) {
 	me := &e.workers[id]
 	defer func() {
 		// Counters first, then the deferred retirements: a reader that sees
-		// outstanding drop must already see the processed totals behind it.
+		// outstanding drop must already see the retirement totals behind it.
 		me.publish()
-		if me.acct != 0 {
-			e.account(me.acct)
-			me.acct = 0
-		}
+		e.flushBatchAccts(me)
 	}()
 	// A restarted worker may have died mid-batch: requeue the popped but
 	// not-yet-started tail so the crash strands no tasks. The task at
@@ -692,7 +901,7 @@ func (e *Engine) runWorker(id int) {
 	// ordering, so only the untouched tail needs to go back.
 	if me.batchLen > 0 {
 		for _, t := range me.batch[me.batchPos+1 : me.batchLen] {
-			me.qpush(t)
+			e.push(me, t)
 		}
 		me.batchPos, me.batchLen = 0, 0
 	}
@@ -702,30 +911,24 @@ func (e *Engine) runWorker(id int) {
 		if e.stop.Load() {
 			return
 		}
-		// Drain the receive side (ring + spilled batches) into the queue.
+		// Drain the receive side (ring + spilled batches) into the queues.
 		buf = e.recv(id, buf[:0])
 		for _, t := range buf {
-			me.qpush(t)
+			e.push(me, t)
 		}
 
-		// Batched dequeue: pop up to BatchK tasks and process them back to
-		// back. The batch amortizes the stop/recv/flush checks and gives the
-		// loop a known next task whose CSR row it can prefetch; the cost is
-		// bounded priority relaxation (a child of batch[i] cannot preempt
-		// batch[i+1:], at most BatchK-1 tasks of it).
-		n := 0
-		for n < len(me.batch) {
-			t, ok := me.qpop()
-			if !ok {
-				break
-			}
-			if e.obsMask >= 0 {
-				e.sampleRank(me, t)
-			}
-			me.batch[n] = t
-			n++
-		}
+		// Batched dequeue: the job-level scheduler fills up to BatchK tasks
+		// across the active jobs (deficit round robin), then the tasks are
+		// processed back to back. The batch amortizes the stop/recv/flush
+		// checks and gives the loop a known next task whose CSR row it can
+		// prefetch; the cost is bounded priority relaxation (a child of
+		// batch[i] cannot preempt batch[i+1:], at most BatchK-1 tasks of it).
+		n := e.fillBatch(me)
 		if n == 0 {
+			// Cancellation sweeps may have retired work with no batch to
+			// process: settle those deltas before deciding the fleet is idle,
+			// or the counts they hold back would stall quiescence.
+			e.flushBatchAccts(me)
 			if e.pending(id) > 0 {
 				// Out of local work: ship every partial batch before idling
 				// so no task waits on this worker's buffers.
@@ -768,9 +971,10 @@ func (e *Engine) runWorker(id int) {
 		for i := 0; i < n; i++ {
 			me.batchPos = i
 			if i+1 < n {
-				e.prefetchRow(me, me.batch[i+1].Node)
+				e.prefetchRow(me, me.batch[i+1])
 			}
 			t := me.batch[i]
+			q := me.jobQueue(e.jobStateFor(t.Job))
 			if t.Node == bagMarker {
 				owner, idx := int(t.Data>>32), uint32(t.Data)
 				st := &e.workers[owner].store
@@ -780,35 +984,201 @@ func (e *Engine) runWorker(id int) {
 					rec.Event(id, obs.EvBagOpened, int64(len(s.tasks)), 0, 0)
 				}
 				for _, bt := range s.tasks {
-					e.processOne(id, me, bt)
+					e.processOne(id, me, q, bt)
 				}
+				// Charge the bag's contents to the job's fairness balance:
+				// its pop charged one task, but len(s.tasks) were just
+				// retired. The balance may go negative — debt the batch
+				// fill's rotation collects before this job pops again.
+				q.deficit -= int64(len(s.tasks)) - 1
 				st.release(s)
 				// Publish the bag's retirement before it leaves the
 				// outstanding count, mirroring pubProcessed's ordering
-				// (conservation ledger).
+				// (conservation ledger, global and per job).
 				me.bagsRetired++
 				me.pubBagsRetired.Store(me.bagsRetired)
+				q.dBagsRetired++
+				q.dOut--
+				me.markDirty(q)
 				me.acct-- // the bag itself; flushed at the batch boundary
 			} else {
-				e.processOne(id, me, t)
+				e.processOne(id, me, q, t)
 			}
 		}
 		me.batchLen = 0
-		// Flush the batch's accumulated retirements in one shared atomic —
-		// the batched loop's other throughput lever besides the prefetch:
-		// up to BatchK childless tasks retire for the price of one
+		// Flush the batch's accumulated retirements in one shared atomic per
+		// counter — the batched loop's other throughput lever besides the
+		// prefetch: up to BatchK childless tasks retire for the price of one
 		// outstanding.Add (and one pubProcessed store) instead of one each.
-		if me.acct != 0 {
-			me.pubProcessed.Store(me.processed)
-			e.account(me.acct)
-			me.acct = 0
-		}
+		e.flushBatchAccts(me)
 
 		if me.sinceFlush >= e.cfg.FlushInterval && e.pending(id) > 0 {
 			e.flush(me)
 			me.sinceFlush = 0
 			me.publish()
 		}
+	}
+}
+
+// drrQuantum is the deficit-round-robin deposit per unit of job weight, in
+// tasks, made each time the batch fill visits a queue. It is the fairness
+// granularity: shares converge to the weight ratios over windows much larger
+// than weight*drrQuantum, and a large opened bag's debt is repaid in
+// debt/(weight*drrQuantum) visits instead of one visit per task (which would
+// make the rotation spin thousands of iterations after every big bag on a
+// single-tenant engine).
+const drrQuantum = 32
+
+// fillBatch is the job-level scheduling layer's pop site: it fills the
+// worker's batch by rotating over the active jobs under deficit round robin.
+// Each visit deposits weight*drrQuantum into the job's balance; each retired
+// task withdraws one — including the tasks inside an opened bag, which are
+// charged when the bag opens and can drive the balance negative (debt the
+// job repays over later visits). When every contending job is backlogged,
+// the task shares therefore converge to the weight shares regardless of how
+// each tenant's work is packaged (singles vs bags) or how expensive its
+// tasks are; task priority still rules within each job's queue. A queue
+// that goes empty forfeits its balance — an unbacklogged tenant banks
+// nothing. Cancelled jobs met on the way are swept into the cancellation
+// sink without consuming batch slots.
+func (e *Engine) fillBatch(me *worker) int {
+	if me.mqKind {
+		me.syncJobs(e)
+	}
+	n := 0
+	misses := 0
+	for n < len(me.batch) {
+		q := me.cur
+		if q == nil || q.deficit <= 0 || !q.active {
+			if len(me.act) == 0 {
+				break
+			}
+			me.actPos++
+			if me.actPos >= len(me.act) {
+				me.actPos = 0
+			}
+			q = me.act[me.actPos]
+			me.cur = q
+			q.deficit += q.js.weight * drrQuantum
+			if max := q.js.weight * drrQuantum; q.deficit > max {
+				// No banking: a queue visited while already flush holds at
+				// most one quantum, so a briefly-idle tenant cannot burst.
+				q.deficit = max
+			}
+			if q.deficit <= 0 {
+				// Still repaying bag debt: the visit's deposit is the
+				// repayment installment. Move on to the next job.
+				me.cur = nil
+				continue
+			}
+		}
+		if q.js.cancelled.Load() {
+			e.drainCancelled(me, q)
+			me.cur = nil
+			if me.mqKind && (q.dOut != 0 || q.js.outstanding.Load() != 0) {
+				// Another worker may still be pushing this job's tasks into
+				// the shared structure: keep the queue active so later
+				// rounds sweep the stragglers; once the job's ledger is
+				// empty no new task can appear and it can leave the ring.
+				misses++
+				if misses > len(me.act) {
+					break
+				}
+				continue
+			}
+			me.deactivate(q)
+			continue
+		}
+		t, ok := q.pop()
+		if !ok {
+			me.cur = nil
+			if q.deficit > 0 {
+				// Forfeit unspent balance (no banking while unbacklogged)
+				// but never forgive debt — a bag-heavy tenant whose queue
+				// momentarily drains still repays before its next turn.
+				q.deficit = 0
+			}
+			if me.mqKind {
+				// A shared-structure job is never deactivated on an empty
+				// pop — another worker's push may be in flight. The miss
+				// counter bounds the scan so an idle fleet still parks.
+				misses++
+				if misses > len(me.act) {
+					break
+				}
+				continue
+			}
+			me.deactivate(q)
+			continue
+		}
+		misses = 0
+		q.deficit--
+		if e.obsMask >= 0 {
+			e.sampleRank(me, q, t)
+		}
+		me.batch[n] = t
+		n++
+	}
+	return n
+}
+
+// drainCancelled sweeps every queued task of a cancelled job into the
+// cancellation sink. For the strict kinds this empties the worker's private
+// queue for the job; for multiqueue it drains whatever the shared structure
+// yields to this worker's handle (other workers sweep their share).
+func (e *Engine) drainCancelled(me *worker, q *workerJQ) {
+	swept := int64(0)
+	for {
+		t, ok := q.pop()
+		if !ok {
+			break
+		}
+		e.discard(me, q, t)
+		swept++
+	}
+	if swept > 0 {
+		if rec := e.obs; rec != nil {
+			rec.Event(me.id, obs.EvCancel, swept, int64(q.js.id), 0)
+		}
+	}
+}
+
+// flushBatchAccts settles the batch's deferred retirement deltas: per-job
+// ledger terms first (retirements before the job's outstanding drop), then
+// the worker's published totals, then the global outstanding adjustment —
+// so any reader that observes a count transition already sees every ledger
+// term explaining it, per job and globally.
+func (e *Engine) flushBatchAccts(me *worker) {
+	if len(me.dirtyJQ) > 0 {
+		me.pubProcessed.Store(me.processed)
+		me.pubBagsRetired.Store(me.bagsRetired)
+		me.pubCancelled.Store(me.cancelled)
+		for _, q := range me.dirtyJQ {
+			js := q.js
+			if q.dProcessed != 0 {
+				js.processed.Add(q.dProcessed)
+				q.dProcessed = 0
+			}
+			if q.dBagsRetired != 0 {
+				js.bagsRetired.Add(q.dBagsRetired)
+				q.dBagsRetired = 0
+			}
+			if q.dCancelled != 0 {
+				js.cancelledTasks.Add(q.dCancelled)
+				q.dCancelled = 0
+			}
+			if q.dOut != 0 {
+				js.outstanding.Add(q.dOut)
+				q.dOut = 0
+			}
+			q.dirty = false
+		}
+		me.dirtyJQ = me.dirtyJQ[:0]
+	}
+	if me.acct != 0 {
+		me.pubProcessed.Store(me.processed)
+		e.account(me.acct)
+		me.acct = 0
 	}
 }
 
@@ -825,41 +1195,56 @@ func (e *Engine) runWorker(id int) {
 // degrades to a Peek-after-pop canary: the queue's next task comparing
 // better than the one just popped can only mean a structural bug, which is
 // why the bench gate demands 0 inversions from heap/dheap/twolevel.
-func (e *Engine) sampleRank(me *worker, t task.Task) {
+func (e *Engine) sampleRank(me *worker, q *workerJQ, t task.Task) {
 	me.popCount++
 	if me.popCount&e.obsMask != 0 {
 		return
 	}
 	var rank int64
-	if me.mq != nil {
-		r, _ := me.mq.Queue().RankEstimate(t.Prio)
+	if q.mq != nil {
+		r, _ := q.mq.Queue().RankEstimate(t.Prio)
 		rank = int64(r)
-	} else if next, ok := me.qpeek(); ok && next.Prio < t.Prio {
+	} else if next, ok := q.peek(); ok && next.Prio < t.Prio {
 		// Strictly-less on Prio, not task.Less: equal-priority tasks may
 		// legally pop in any order (the bucket store is FIFO per bucket).
 		rank = 1
 	}
 	me.rankSamples++
+	js := q.js
+	js.rankSamples.Add(1)
 	if rank > 0 {
 		me.inversions++
 		me.rankErrSum += rank
 		if rank > me.rankErrMax {
 			me.rankErrMax = rank
 		}
+		js.inversions.Add(1)
+		js.rankErrSum.Add(rank)
+		for {
+			cur := js.rankErrMax.Load()
+			if rank <= cur || js.rankErrMax.CompareAndSwap(cur, rank) {
+				break
+			}
+		}
 	}
 	me.pubRankSamples.Store(me.rankSamples)
 	me.pubInversions.Store(me.inversions)
 	me.pubRankErrSum.Store(me.rankErrSum)
 	me.pubRankErrMax.Store(me.rankErrMax)
-	e.obs.Event(me.id, obs.EvRankSample, rank, t.Prio, 0)
+	e.obs.Event(me.id, obs.EvRankSample, rank, t.Prio, int64(js.id))
 }
 
-// prefetchRow touches the next batched task's CSR row bounds so the offset
-// line is resident by the time processing reaches that task. The summed
-// loads land in prefetchSink to keep them alive past the optimizer.
-func (e *Engine) prefetchRow(me *worker, n graph.NodeID) {
-	if i := int(n); i+1 < len(e.off) {
-		me.prefetchSink = e.off[i] + e.off[i+1]
+// prefetchRow touches the next batched task's CSR row bounds (in its job's
+// graph) so the offset line is resident by the time processing reaches that
+// task. The summed loads land in prefetchSink to keep them alive past the
+// optimizer.
+func (e *Engine) prefetchRow(me *worker, t task.Task) {
+	if t.Node == bagMarker {
+		return
+	}
+	off := e.jobStateFor(t.Job).off
+	if i := int(t.Node); i+1 < len(off) {
+		me.prefetchSink = off[i] + off[i+1]
 	}
 }
 
@@ -867,24 +1252,26 @@ func (e *Engine) prefetchRow(me *worker, n graph.NodeID) {
 // panicking handler yields its recover() value instead of killing the
 // worker. The open-coded defer keeps the no-panic cost to a few
 // nanoseconds, which is the whole fault layer's hot-path footprint.
-func (e *Engine) runTask(me *worker, t task.Task) (edges int, pv any) {
+func (e *Engine) runTask(me *worker, js *jobState, t task.Task) (edges int, pv any) {
 	defer func() {
 		if r := recover(); r != nil {
 			pv = r
 		}
 	}()
-	return e.w.Process(t, me.emit), nil
+	return js.w.Process(t, me.emit), nil
 }
 
-// handleFault routes one caught handler panic: retry under Config.Retry
-// (the task stays outstanding and goes back into this worker's queue) or
-// quarantine (the task retires into the poison list, keeping the
-// conservation ledger balanced so Drain still terminates). Children emitted
-// before the panic are discarded — a task's effects land exactly once, on
-// the attempt that completes.
-func (e *Engine) handleFault(id int, me *worker, t task.Task, pv any) {
+// handleFault routes one caught handler panic: retry under the job's retry
+// policy (JobConfig.Retry, falling back to Config.Retry; the task stays
+// outstanding and goes back into this worker's queue) or quarantine (the
+// task retires into the poison list, keeping both conservation ledgers
+// balanced so Drain still terminates). Children emitted before the panic
+// are discarded — a task's effects land exactly once, on the attempt that
+// completes.
+func (e *Engine) handleFault(id int, me *worker, js *jobState, t task.Task, pv any) {
 	me.children = me.children[:0]
-	attempt, retry := e.faults.recordPanic(t, id, pv, e.cfg.Retry)
+	policy := js.retryPolicy(e.cfg.Retry)
+	attempt, retry := e.faults.recordPanic(t, id, pv, policy)
 	if rec := e.obs; rec != nil {
 		rec.Add(id, obs.CTaskPanics, 1)
 		rec.Event(id, obs.EvPanic, t.Prio, int64(attempt), 0)
@@ -893,12 +1280,12 @@ func (e *Engine) handleFault(id int, me *worker, t task.Task, pv any) {
 		if rec := e.obs; rec != nil {
 			rec.Add(id, obs.CTaskRetries, 1)
 		}
-		if b := e.cfg.Retry.Backoff; b > 0 {
+		if b := policy.Backoff; b > 0 {
 			// Served on the failing worker: panics are exceptional, so a
 			// brief stall here beats a timer wheel on the happy path.
 			time.Sleep(time.Duration(attempt) * b)
 		}
-		me.qpush(t) // still outstanding; retried by this worker
+		e.push(me, t) // still outstanding; retried by this worker
 		return
 	}
 	if rec := e.obs; rec != nil {
@@ -906,17 +1293,22 @@ func (e *Engine) handleFault(id int, me *worker, t task.Task, pv any) {
 		rec.Event(id, obs.EvQuarantine, t.Prio, int64(attempt), 0)
 	}
 	// The quarantine record is in the ledger (recordPanic) before the task
-	// leaves the outstanding count, mirroring pubProcessed's ordering.
+	// leaves the outstanding count, mirroring pubProcessed's ordering —
+	// per job first, then globally.
+	js.quarantined.Add(1)
+	js.outstanding.Add(-1)
 	me.pubProcessed.Store(me.processed)
 	e.account(-1)
 }
 
-// processOne executes one task and distributes its children.
-func (e *Engine) processOne(id int, me *worker, t task.Task) {
+// processOne executes one task and distributes its children. q is the
+// worker's queue for the task's job (its ledger delta accumulator).
+func (e *Engine) processOne(id int, me *worker, q *workerJQ, t task.Task) {
+	js := q.js
 	me.children = me.children[:0]
-	edges, pv := e.runTask(me, t)
+	edges, pv := e.runTask(me, js, t)
 	if pv != nil {
-		e.handleFault(id, me, t, pv)
+		e.handleFault(id, me, js, t, pv)
 		return
 	}
 	if e.faults.retrying.Load() > 0 {
@@ -927,6 +1319,9 @@ func (e *Engine) processOne(id int, me *worker, t task.Task) {
 	}
 	me.edges += int64(edges)
 	me.processed++
+	q.dProcessed++
+	q.dOut--
+	me.markDirty(q)
 	// With a recorder attached pubProcessed IS the recorder's counter slot,
 	// so only the sampled trace path remains to record here.
 	if m := e.obsMask; m >= 0 && me.processed&m == 0 {
@@ -939,13 +1334,21 @@ func (e *Engine) processOne(id int, me *worker, t task.Task) {
 	// exists (the deferred deltas are all negative, and the children being
 	// added here keep the post-add count strictly positive). The spawned
 	// total is published first so the conservation ledger's add side is
-	// never behind the outstanding count it explains. A childless task just
-	// deepens the batch deficit — no atomic at all.
+	// never behind the outstanding count it explains — per job first, then
+	// globally. A childless task just deepens the batch deficit — no atomic
+	// at all.
 	if len(me.children) > 0 {
+		// Children inherit the parent's tenant: identity flows with the
+		// work, so every spawned task is billed to the job that created it.
+		for i := range me.children {
+			me.children[i].Job = t.Job
+		}
 		bags, singles := me.part.Partition(me.children, e.cfg.Bags, me.newBagID)
 		spawned := int64(len(bags)) + int64(countTasks(bags)) + int64(len(singles))
 		me.spawned += spawned
 		me.pubSpawned.Store(me.spawned)
+		js.spawned.Add(spawned)
+		js.outstanding.Add(spawned)
 		// Publish the processed total BEFORE any task can leave
 		// `outstanding`: a reader that sees a retirement also sees the
 		// count (Snapshot's coherence contract). Retirement is only
@@ -963,10 +1366,10 @@ func (e *Engine) processOne(id int, me *worker, t task.Task) {
 				// publish points; only the trace event is recorded here.
 				rec.Event(id, obs.EvBagCreated, b.Prio, int64(len(b.Tasks)), 0)
 			}
-			e.dispatch(id, me, task.Task{Node: bagMarker, Prio: b.Prio, Data: b.ID})
+			e.dispatch(id, me, js, task.Task{Node: bagMarker, Job: t.Job, Prio: b.Prio, Data: b.ID})
 		}
 		for _, c := range singles {
-			e.dispatch(id, me, c)
+			e.dispatch(id, me, js, c)
 		}
 	} else {
 		me.acct--
@@ -977,7 +1380,7 @@ func (e *Engine) processOne(id int, me *worker, t task.Task) {
 	me.sinceReport++
 	if me.sinceReport >= e.sampleInterval {
 		me.sinceReport = 0
-		e.control.Report(id, t.Prio)
+		e.control.Report(id, js.id, t.Prio)
 	}
 }
 
@@ -990,19 +1393,30 @@ func countTasks(bags []bag.Bag) int {
 }
 
 // dispatch routes one unit (task or bag metadata) to a destination chosen
-// by the current TDF. Remote units go through the transport's batching;
-// local units go straight to the private queue.
-func (e *Engine) dispatch(id int, me *worker, t task.Task) {
+// by the job's effective TDF: the drift controller's global signal scaled by
+// the job's TDFBias (percent, capped at always-scatter). Remote units go
+// through the transport's batching; local units go straight to the worker's
+// queue for the job.
+func (e *Engine) dispatch(id int, me *worker, js *jobState, t task.Task) {
 	dst := id
-	if n := len(e.workers); n > 1 && int64(me.rng.Uint32n(100)) < e.control.TDF() {
-		d := int(me.rng.Uint32n(uint32(n - 1)))
-		if d >= id {
-			d++
+	if n := len(e.workers); n > 1 {
+		tdf := e.control.TDF()
+		if b := js.tdfBias; b != 100 {
+			tdf = tdf * b / 100
+			if tdf > 100 {
+				tdf = 100
+			}
 		}
-		dst = d
+		if int64(me.rng.Uint32n(100)) < tdf {
+			d := int(me.rng.Uint32n(uint32(n - 1)))
+			if d >= id {
+				d++
+			}
+			dst = d
+		}
 	}
 	if dst == id {
-		me.qpush(t)
+		e.push(me, t)
 		return
 	}
 	e.send(me, dst, t)
@@ -1043,14 +1457,15 @@ type Snapshot struct {
 	// The conservation ledger (fault.go). At quiescence (Drain returned,
 	// no concurrent Submit):
 	//
-	//	Submitted + Spawned == TasksProcessed + BagsRetired + Quarantined
+	//	Submitted + Spawned == TasksProcessed + BagsRetired + Quarantined + Cancelled
 	//
 	// and Outstanding == 0 — the no-task-loss invariant the chaos harness
-	// asserts at every checkpoint.
+	// asserts at every checkpoint, globally and per job (Jobs).
 	Submitted   int64 // tasks injected via Submit
 	Spawned     int64 // children + bag units created by task processing
 	BagsRetired int64 // bag units fully unpacked and retired
 	Quarantined int64 // poison tasks retired into Engine.Quarantined
+	Cancelled   int64 // tasks discarded by job-scoped Cancel (ledger sink)
 	Redirects   int64 // flow-control bounces kept local (degradation signal)
 
 	// Two-level local-queue health (zero when QueueKind is not twolevel):
@@ -1074,6 +1489,10 @@ type Snapshot struct {
 	RankErrorMax   int64
 
 	Workers []WorkerStats
+	// Jobs holds one ledger row per registered tenant, indexed by JobID
+	// (job 0 is the engine's default workload). Each row carries the per-job
+	// conservation equation documented on JobStats.
+	Jobs []JobStats
 }
 
 // Snapshot reads the engine's counters without disturbing the workers.
@@ -1085,6 +1504,7 @@ func (e *Engine) Snapshot() Snapshot {
 	// worker stores its processed total before decrementing outstanding,
 	// and sync/atomic's total order makes that store visible to any reader
 	// that observed the decrement.
+	jobs := *e.jobs.Load()
 	s := Snapshot{
 		Epoch:       e.epoch.Load(),
 		Outstanding: e.outstanding.Load(),
@@ -1092,6 +1512,10 @@ func (e *Engine) Snapshot() Snapshot {
 		Submitted:   e.submitted.Load(),
 		Quarantined: e.faults.nQuarantined.Load(),
 		Workers:     make([]WorkerStats, len(e.workers)),
+		Jobs:        make([]JobStats, len(jobs)),
+	}
+	for i, js := range jobs {
+		s.Jobs[i] = js.stats()
 	}
 	for i := range e.workers {
 		me := &e.workers[i]
@@ -1108,6 +1532,7 @@ func (e *Engine) Snapshot() Snapshot {
 		s.EdgesExamined += me.pubEdges.Load()
 		s.Spawned += me.pubSpawned.Load()
 		s.BagsRetired += me.pubBagsRetired.Load()
+		s.Cancelled += me.pubCancelled.Load()
 		s.Redirects += ws.Redirects
 		s.HotSpills += me.pubHotSpills.Load()
 		s.QueueFallbacks += me.pubFallbacks.Load()
@@ -1165,15 +1590,50 @@ func (e *Engine) Obs() *obs.Recorder { return e.obs }
 func (e *Engine) ControlTrace() []obs.ControlPoint { return e.control.Series() }
 
 // WriteTrace streams the engine's full observability state as JSONL
-// (schema obs.TraceSchema): recorder meta, per-worker counters, the
-// retained event trace, and the control plane's drift/ref/TDF time series.
-// Requires Config.Obs; without a recorder only the control series is
-// written.
+// (schema obs.TraceSchema): recorder meta, per-worker counters, per-job
+// ledger rows, the retained event trace, and the control plane's
+// drift/ref/TDF time series. Requires Config.Obs; without a recorder only
+// the control series is written.
 func (e *Engine) WriteTrace(w io.Writer) error {
 	if e.obs != nil {
 		if err := e.obs.WriteJSONL(w); err != nil {
 			return err
 		}
+		jobs := *e.jobs.Load()
+		stats := make([]JobStats, 0, len(jobs))
+		for _, js := range jobs {
+			stats = append(stats, js.stats())
+		}
+		if err := obs.WriteJobsJSONL(w, JobRows(stats)); err != nil {
+			return err
+		}
 	}
 	return obs.WriteControlJSONL(w, e.control.Series())
+}
+
+// JobRows adapts per-job ledger stats into the obs trace's job-row schema
+// (one {"type":"job"} JSONL line per tenant; see obs.WriteJobsJSONL).
+func JobRows(stats []JobStats) []obs.JobRow {
+	rows := make([]obs.JobRow, 0, len(stats))
+	for _, st := range stats {
+		rows = append(rows, obs.JobRow{
+			Job:            uint32(st.Job),
+			Name:           st.Name,
+			Weight:         st.Weight,
+			Cancelled:      st.Cancelled,
+			Outstanding:    st.Outstanding,
+			Submitted:      st.Submitted,
+			Spawned:        st.Spawned,
+			Processed:      st.Processed,
+			BagsRetired:    st.BagsRetired,
+			Quarantined:    st.Quarantined,
+			CancelledTasks: st.CancelledTasks,
+			QuotaRejected:  st.QuotaRejected,
+			RankSamples:    st.RankSamples,
+			PrioInversions: st.PrioInversions,
+			RankErrorSum:   st.RankErrorSum,
+			RankErrorMax:   st.RankErrorMax,
+		})
+	}
+	return rows
 }

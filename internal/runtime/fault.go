@@ -4,15 +4,17 @@ package runtime
 // wedge: a panicking task handler used to kill its worker goroutine and
 // leave Drain blocked forever on an outstanding count that could no longer
 // reach zero. Now a handler panic is a per-task event — the worker
-// survives, the task is retried under Config.Retry and quarantined when
-// retries are exhausted, and every failure path stays inside the engine's
-// conservation ledger:
+// survives, the task is retried under the job's retry policy (JobConfig.Retry
+// falling back to Config.Retry) and quarantined when retries are exhausted,
+// and every failure path stays inside the engine's conservation ledger:
 //
-//	Submitted + Spawned = Processed + BagsRetired + Quarantined + Outstanding
+//	Submitted + Spawned = Processed + BagsRetired + Quarantined + Cancelled + Outstanding
 //
 // exactly at quiescence (each term's publication is ordered before the
-// outstanding-count transition that makes it observable). The chaos harness
-// (internal/chaos) asserts this ledger at every drain checkpoint.
+// outstanding-count transition that makes it observable). The Cancelled term
+// is the job layer's sink: tasks of a cancelled tenant retire there without
+// executing (job.go). The same equation holds per job, and the chaos harness
+// (internal/chaos) asserts both ledgers at every drain checkpoint.
 
 import (
 	"fmt"
@@ -124,20 +126,33 @@ type WorkerState struct {
 	Parked    bool  // currently blocked in the park/wake handshake
 }
 
-// StallError is the diagnostic Drain and Stop return instead of blocking
-// forever: the deadline (or the liveness watchdog) fired while work was
-// still outstanding. It wraps the triggering error (ctx.Err(), or
-// ErrStalled for the watchdog) and carries enough engine state to tell a
-// wedged fleet from a slow one — per-worker progress and park state, the
-// conservation ledger, and the submission epoch.
+// StallError is the diagnostic Drain, Stop, and the job-scoped waits return
+// instead of blocking forever: the deadline (or the liveness watchdog) fired
+// while work was still outstanding. It wraps the triggering error
+// (ctx.Err(), or ErrStalled for the watchdog) and carries enough engine
+// state to tell a wedged fleet from a slow one — per-worker progress and
+// park state, the conservation ledger, and the submission epoch.
+//
+// An engine-wide stall (Engine.Drain, Stop) reports the whole fleet's
+// ledger: every tenant's work counts toward Outstanding. A job-scoped stall
+// (Job.Drain, Job.Cancel) sets JobScoped and identifies the blocking tenant:
+// Job/JobName name it and the ledger fields hold that job's terms only, so
+// one stuck tenant is distinguishable from a wedged fleet.
 type StallError struct {
-	Op  string // "drain" or "stop"
+	Op  string // "drain", "stop", or "drain-job"
 	Err error  // ctx.Err() or ErrStalled
+
+	// JobScoped marks a single-tenant wait; Job and JobName then identify
+	// the blocking job, and the ledger fields below are its terms alone.
+	JobScoped bool
+	Job       task.JobID
+	JobName   string
 
 	Outstanding int64
 	Submitted   int64
 	Processed   int64
 	Quarantined int64
+	Cancelled   int64
 	Epoch       uint64 // submission epochs so far (park/wake generations)
 	Workers     []WorkerState
 }
@@ -149,8 +164,14 @@ func (e *StallError) Error() string {
 			parked++
 		}
 	}
+	if e.JobScoped {
+		return fmt.Sprintf(
+			"runtime: %s stalled (%v): job %d (%s) blocking with outstanding %d, submitted %d, processed %d, quarantined %d, cancelled %d; %d/%d workers parked",
+			e.Op, e.Err, e.Job, e.JobName, e.Outstanding, e.Submitted,
+			e.Processed, e.Quarantined, e.Cancelled, parked, len(e.Workers))
+	}
 	return fmt.Sprintf(
-		"runtime: %s stalled (%v): outstanding %d, submitted %d, processed %d, quarantined %d, epoch %d, %d/%d workers parked",
+		"runtime: %s stalled (%v): all jobs' outstanding %d, submitted %d, processed %d, quarantined %d, epoch %d, %d/%d workers parked",
 		e.Op, e.Err, e.Outstanding, e.Submitted, e.Processed, e.Quarantined,
 		e.Epoch, parked, len(e.Workers))
 }
@@ -185,7 +206,24 @@ func (e *Engine) stallError(op string, cause error) *StallError {
 		}
 		se.Workers[i] = ws
 		se.Processed += ws.Processed
+		se.Cancelled += me.pubCancelled.Load()
 	}
+	return se
+}
+
+// stallJobError assembles the job-scoped diagnostic: the fleet's worker rows
+// (the workers are shared) with the blocking job's own ledger terms.
+func (e *Engine) stallJobError(op string, cause error, js *jobState) *StallError {
+	se := e.stallError(op, cause)
+	se.Op = op
+	se.JobScoped = true
+	se.Job = js.id
+	se.JobName = js.name
+	se.Outstanding = js.outstanding.Load()
+	se.Submitted = js.submitted.Load()
+	se.Processed = js.processed.Load()
+	se.Quarantined = js.quarantined.Load()
+	se.Cancelled = js.cancelledTasks.Load()
 	return se
 }
 

@@ -37,17 +37,18 @@ func (w *fnWorkload) Process(t task.Task, emit func(task.Task)) int {
 }
 
 // checkLedger asserts the conservation invariant at quiescence:
-// Submitted + Spawned == Processed + BagsRetired + Quarantined, Outstanding 0.
+// Submitted + Spawned == Processed + BagsRetired + Quarantined + Cancelled,
+// Outstanding 0.
 func checkLedger(t *testing.T, s Snapshot) {
 	t.Helper()
 	if s.Outstanding != 0 {
 		t.Fatalf("outstanding %d at quiescence, want 0", s.Outstanding)
 	}
 	in := s.Submitted + s.Spawned
-	out := s.TasksProcessed + s.BagsRetired + s.Quarantined
+	out := s.TasksProcessed + s.BagsRetired + s.Quarantined + s.Cancelled
 	if in != out {
-		t.Fatalf("ledger violated: submitted %d + spawned %d = %d, processed %d + bagsRetired %d + quarantined %d = %d",
-			s.Submitted, s.Spawned, in, s.TasksProcessed, s.BagsRetired, s.Quarantined, out)
+		t.Fatalf("ledger violated: submitted %d + spawned %d = %d, processed %d + bagsRetired %d + quarantined %d + cancelled %d = %d",
+			s.Submitted, s.Spawned, in, s.TasksProcessed, s.BagsRetired, s.Quarantined, s.Cancelled, out)
 	}
 }
 

@@ -6,7 +6,10 @@ package runtime
 // one goroutine, so any pq.Queue implementation works without locks; the
 // policy knob is which shape backs it.
 
-import "hdcps/internal/pq"
+import (
+	"hdcps/internal/pq"
+	"hdcps/internal/task"
+)
 
 // LocalQueue is the per-worker private priority queue contract. It is
 // exactly pq.Queue — single-owner, no internal synchronization.
@@ -49,12 +52,12 @@ func mqConfig(cfg Config) pq.MultiQueueConfig {
 	}
 }
 
-// newLocalQueue builds one worker's queue from the configured policy:
-// Config.Queue when set (the pluggable hook), else the shape named by
-// Config.QueueKind. The engine's hot path devirtualizes the two-level and
-// multiqueue shapes (worker.tl / worker.mq), so the interface boxing here
-// is paid once per worker. A multiqueue built here is a single-worker
-// instance; fleets share one structure via newLocalQueues instead.
+// newLocalQueue builds one queue from the configured policy: Config.Queue
+// when set (the pluggable hook), else the shape named by Config.QueueKind.
+// The engine's hot path devirtualizes the two-level and multiqueue shapes
+// (workerJQ.tl / workerJQ.mq), so the interface boxing here is paid once
+// per worker per job. A multiqueue built here is a single-worker instance;
+// fleets share one structure per job via jobState.mq (see newWorkerJQ).
 func newLocalQueue(cfg Config) LocalQueue {
 	if cfg.Queue != nil {
 		return cfg.Queue()
@@ -79,22 +82,81 @@ func newLocalQueue(cfg Config) LocalQueue {
 	}
 }
 
-// newLocalQueues builds the whole fleet's queues at once. For the strict
-// per-worker kinds this is just newLocalQueue per worker; for multiqueue
-// every worker gets a handle into ONE shared c·P-shard structure — the
-// property that makes the kind a scalability play rather than P separate
-// relaxed queues.
-func newLocalQueues(cfg Config) []LocalQueue {
-	qs := make([]LocalQueue, cfg.Workers)
-	if cfg.Queue == nil && cfg.QueueKind == QueueMultiQueue {
-		m := pq.NewMultiQueue(mqConfig(cfg))
-		for i := range qs {
-			qs[i] = m.Handle()
-		}
-		return qs
+// workerJQ is one worker's queue for one job: the unit the job-level
+// deficit-round-robin scheduler rotates over (engine.go). For the strict
+// kinds the queue is private to the worker; for multiqueue it is a handle
+// into the job's fleet-shared structure (jobState.mq), so relaxation and
+// work balancing stay within the tenant. The d* fields are the worker's
+// deferred per-job ledger deltas, flushed at batch boundaries in retirement-
+// before-outstanding order so the per-job ledger obeys the same publication
+// contract as the global one.
+type workerJQ struct {
+	js    *jobState
+	queue LocalQueue
+	// tl/mq devirtualize the stock shapes exactly like the worker's old
+	// single queue did — push/pop stay direct calls on the hot path.
+	tl *pq.TwoLevel
+	mq *pq.MQHandle
+
+	// active marks membership in the worker's round-robin ring (worker.act).
+	active bool
+	// deficit is the job's deficit-round-robin balance on this worker, in
+	// tasks: each fillBatch visit deposits weight*drrQuantum, each retired
+	// task (including every task inside an opened bag — charged when the
+	// bag is opened, so it can push the balance negative) withdraws one.
+	// Debt carries across rounds, which is what makes the long-run task
+	// shares weight-proportional even though bag sizes are unknown at pop
+	// time. Reset to zero whenever the queue goes empty (no banking while
+	// unbacklogged). Only the owning worker touches it.
+	deficit int64
+
+	// dirty marks pending deltas (worker.dirtyJQ holds the dirty set).
+	dirty        bool
+	dProcessed   int64
+	dBagsRetired int64
+	dCancelled   int64
+	dOut         int64
+}
+
+func (q *workerJQ) push(t task.Task) {
+	if q.tl != nil {
+		q.tl.Push(t)
+		return
 	}
-	for i := range qs {
-		qs[i] = newLocalQueue(cfg)
+	if q.mq != nil {
+		q.mq.Push(t)
+		return
 	}
-	return qs
+	q.queue.Push(t)
+}
+
+func (q *workerJQ) pop() (task.Task, bool) {
+	if q.tl != nil {
+		return q.tl.Pop()
+	}
+	if q.mq != nil {
+		return q.mq.Pop()
+	}
+	return q.queue.Pop()
+}
+
+func (q *workerJQ) peek() (task.Task, bool) {
+	if q.tl != nil {
+		return q.tl.Peek()
+	}
+	return q.queue.Peek()
+}
+
+// newWorkerJQ builds one worker's queue for one job: a private queue of the
+// configured shape, or a handle into the job's shared MultiQueue.
+func newWorkerJQ(cfg Config, js *jobState) *workerJQ {
+	q := &workerJQ{js: js}
+	if js.mq != nil {
+		q.queue = js.mq.Handle()
+	} else {
+		q.queue = newLocalQueue(cfg)
+	}
+	q.tl, _ = q.queue.(*pq.TwoLevel)
+	q.mq, _ = q.queue.(*pq.MQHandle)
+	return q
 }

@@ -99,8 +99,15 @@ type Config struct {
 	// Retry configures per-task panic handling: a task whose handler panics
 	// is retried up to Retry.MaxAttempts times, then quarantined (see
 	// Engine.Quarantined). The zero value disables retries — the first
-	// panic quarantines — and costs the hot path nothing.
+	// panic quarantines — and costs the hot path nothing. Per-job overrides
+	// live in JobConfig.Retry.
 	Retry RetryPolicy
+	// DefaultJob parameterizes job 0, the tenant the engine is constructed
+	// over (name, fair-share weight, quota, TDF bias, retry override). The
+	// zero value keeps the historical single-tenant behavior: weight 1, no
+	// quota, neutral bias. Further tenants are registered with
+	// Engine.NewJob.
+	DefaultJob JobConfig
 	// OverflowCap bounds each transport endpoint's overflow stack, in
 	// tasks. A saturated destination (full ring AND full overflow) bounces
 	// further worker sends back to the sender, which keeps them in its own

@@ -12,11 +12,22 @@ import "hdcps/internal/graph"
 // Data is a workload-defined payload (for example, the tentative distance a
 // relaxation was created with). Together with the 64-bit packed ID this
 // mirrors the paper's 128-bit hardware queue entries (ID + data, §III-D).
+//
+// Job identifies the tenant the task belongs to in a multi-job engine
+// (runtime.Job). It sits in the 4-byte padding hole after Node, so carrying
+// the identity costs no space: the struct stays 24 bytes and every queue
+// kind remains zero-alloc. Scheduling order ignores Job entirely — fairness
+// across jobs is the engine's job-level scheduler, not the queues'.
 type Task struct {
 	Node graph.NodeID
+	Job  JobID
 	Prio int64
 	Data uint64
 }
+
+// JobID names one job (tenant) of a multi-job engine. The zero value is the
+// engine's default job, so single-tenant callers never see the field.
+type JobID uint32
 
 // Less reports whether t has strictly higher scheduling priority than o
 // (numerically lower Prio, with Node as a deterministic tie-break).
