@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build tier1 vet lint race chaos bench bench-smoke bench-gate bench-native ci
+.PHONY: all build tier1 vet lint race chaos bench bench-smoke bench-gate bench-native serve-smoke serve-gate serve-bench ci
 
 all: ci
 
@@ -81,4 +81,26 @@ bench-gate:
 bench-native:
 	$(GO) run ./cmd/hdcps-bench -native -label $$(git rev-parse --short HEAD) -o BENCH_native.json
 
-ci: tier1 vet lint race chaos
+# Serving smoke: build hdcps-serve + hdcps-load, boot on an ephemeral port,
+# drive a fixed-rate open-loop run, SIGTERM, and require the graceful drain
+# to be ledger-exact (no accepted task lost). Artifacts in $$SMOKE_DIR.
+serve-smoke:
+	./scripts/serve_smoke.sh
+
+# Serving regression gate: a short saturation sweep through the real HTTP
+# front-end compared against the newest run in BENCH_serve.json. Fails on a
+# knee collapse (beyond 25%% of baseline), a p99 blow-up, or — tolerance-
+# exempt — any server 5xx; not on ordinary CI-runner drift. Knee searches
+# are noisy (sub-second probes), so one failed sweep gets one fresh retry:
+# a real collapse fails both, a noise spike only one.
+serve-gate:
+	$(GO) run ./cmd/hdcps-bench -serve -label ci-gate -scale tiny \
+		-o /tmp/hdcps-serve-gate.json -check BENCH_serve.json -tol 0.25 || \
+	$(GO) run ./cmd/hdcps-bench -serve -label ci-gate -scale tiny \
+		-o /tmp/hdcps-serve-gate.json -check BENCH_serve.json -tol 0.25
+
+# Refresh BENCH_serve.json for the current tree (label with the short SHA).
+serve-bench:
+	$(GO) run ./cmd/hdcps-bench -serve -label $$(git rev-parse --short HEAD) -o BENCH_serve.json
+
+ci: tier1 vet lint race chaos serve-smoke serve-gate

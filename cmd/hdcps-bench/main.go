@@ -13,6 +13,9 @@
 //	hdcps-bench -native -label pr1 -o BENCH_native.json   # native runtime perf
 //	hdcps-bench -native -label ci -scale tiny -reps 3 -o /tmp/gate.json \
 //	    -check BENCH_native.json -tol 0.25               # CI regression gate
+//	hdcps-bench -serve -label pr8 -o BENCH_serve.json     # serving saturation sweep
+//	hdcps-bench -serve -label ci -scale tiny -o /tmp/serve.json \
+//	    -check BENCH_serve.json -tol 0.25                # serve CI gate
 package main
 
 import (
@@ -37,16 +40,40 @@ func main() {
 		trace  = flag.String("trace", "", "JSONL observability trace output for trace-producing experiments (e.g. drift-timeline; \"-\" for stdout)")
 
 		native  = flag.Bool("native", false, "benchmark the native goroutine runtime and emit BENCH_native.json")
-		label   = flag.String("label", "dev", "label for the -native run (e.g. a commit or PR id)")
-		out     = flag.String("o", "BENCH_native.json", "output path for -native (\"-\" for stdout)")
-		workers = flag.Int("workers", 4, "native runtime worker count for -native")
+		srv     = flag.Bool("serve", false, "benchmark the network front-end (saturation sweep) and emit BENCH_serve.json")
+		label   = flag.String("label", "dev", "label for the -native/-serve run (e.g. a commit or PR id)")
+		out     = flag.String("o", "", "output path for -native/-serve (default BENCH_native.json / BENCH_serve.json; \"-\" for stdout)")
+		workers = flag.Int("workers", 4, "native runtime worker count for -native/-serve")
 		reps    = flag.Int("reps", 20, "repetitions per workload for -native")
-		check   = flag.String("check", "", "regression gate: compare the -native run against the latest run in this baseline BENCH_native.json")
-		tol     = flag.Float64("tol", 0.25, "fractional collapse tolerance for -check: fail a workload below (1-tol) of baseline throughput")
+		check   = flag.String("check", "", "regression gate: compare the fresh -native/-serve run against the latest run in this baseline document")
+		tol     = flag.Float64("tol", 0.25, "fractional collapse tolerance for -check: fail below (1-tol) of baseline")
+		probeD  = flag.Duration("probe-dur", 400*time.Millisecond, "per-probe duration for the -serve knee search")
+		fixedD  = flag.Duration("fixed-dur", 0, "fixed-rate latency run duration for -serve (0: 2x probe-dur)")
 	)
 	flag.Parse()
 
+	if *srv {
+		if *out == "" {
+			*out = "BENCH_serve.json"
+		}
+		run, err := runServeBench(*label, *scale, *out, *workers, *seed, *probeD, *fixedD)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hdcps-bench: serve bench failed: %v\n", err)
+			os.Exit(1)
+		}
+		if *check != "" {
+			if err := checkServeRun(run, *check, *tol); err != nil {
+				fmt.Fprintf(os.Stderr, "hdcps-bench: serve gate failed: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
 	if *native {
+		if *out == "" {
+			*out = "BENCH_native.json"
+		}
 		run, err := runNativeBench(*label, *scale, *out, *workers, *reps, *seed)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hdcps-bench: native bench failed: %v\n", err)

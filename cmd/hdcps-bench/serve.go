@@ -1,0 +1,200 @@
+package main
+
+// The -serve mode benchmarks the network front-end: per queue kind it boots
+// a real hdcps-serve instance on a loopback listener, finds the max
+// sustainable open-loop task rate (internal/load's doubling/bisection knee
+// search under the sustainability policy), measures latency quantiles at a
+// fixed rate below the knee, and proves the graceful-shutdown ledger. The
+// result lands in BENCH_serve.json next to BENCH_native.json and feeds the
+// serve-gate collapse detector.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	stdruntime "runtime"
+	"strings"
+	"time"
+
+	"hdcps/internal/serve"
+)
+
+// serveBenchSchema versions BENCH_serve.json.
+const serveBenchSchema = "hdcps-serve-bench/v1"
+
+// ServeBenchDoc is the top-level BENCH_serve.json document; runs accumulate
+// by label exactly like BENCH_native.json's.
+type ServeBenchDoc struct {
+	Schema string          `json:"schema"`
+	Runs   []ServeBenchRun `json:"runs"`
+}
+
+// ServeBenchRun is one labeled serving sweep across the queue kinds.
+type ServeBenchRun struct {
+	Label      string               `json:"label"`
+	GoVersion  string               `json:"go_version"`
+	GOOS       string               `json:"goos"`
+	GOARCH     string               `json:"goarch"`
+	CPUs       int                  `json:"cpus"`
+	GoMaxProcs int                  `json:"gomaxprocs"`
+	Workers    int                  `json:"workers"`
+	Graph      string               `json:"graph"`
+	Scale      string               `json:"scale"`
+	Seed       uint64               `json:"seed"`
+	Batch      int                  `json:"batch"`
+	ProbeMs    int64                `json:"probe_ms"`
+	FixedMs    int64                `json:"fixed_ms"`
+	Sweeps     []serve.SweepMeasure `json:"sweeps"`
+}
+
+func runServeBench(label, scale, out string, workers int, seed uint64, probeDur, fixedDur time.Duration) (ServeBenchRun, error) {
+	opts := serve.BenchOptions{
+		Graph:    "road",
+		Scale:    scale,
+		Seed:     seed,
+		Workers:  workers,
+		ProbeDur: probeDur,
+		FixedDur: fixedDur,
+	}
+	opts = applyServeDefaults(opts)
+	run := ServeBenchRun{
+		Label:      label,
+		GoVersion:  stdruntime.Version(),
+		GOOS:       stdruntime.GOOS,
+		GOARCH:     stdruntime.GOARCH,
+		CPUs:       stdruntime.NumCPU(),
+		GoMaxProcs: stdruntime.GOMAXPROCS(0),
+		Workers:    opts.Workers,
+		Graph:      opts.Graph,
+		Scale:      opts.Scale,
+		Seed:       opts.Seed,
+		Batch:      opts.Batch,
+		ProbeMs:    opts.ProbeDur.Milliseconds(),
+		FixedMs:    opts.FixedDur.Milliseconds(),
+	}
+	sweeps, err := serve.RunBench(opts, func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	})
+	if err != nil {
+		return run, err
+	}
+	run.Sweeps = sweeps
+
+	doc := ServeBenchDoc{Schema: serveBenchSchema}
+	if prev, err := os.ReadFile(out); err == nil {
+		var existing ServeBenchDoc
+		if err := json.Unmarshal(prev, &existing); err == nil && existing.Schema == doc.Schema {
+			for _, r := range existing.Runs {
+				if r.Label != label {
+					doc.Runs = append(doc.Runs, r)
+				}
+			}
+		}
+	}
+	doc.Runs = append(doc.Runs, run)
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return run, err
+	}
+	buf = append(buf, '\n')
+	if out == "-" {
+		_, err = os.Stdout.Write(buf)
+		return run, err
+	}
+	return run, os.WriteFile(out, buf, 0o644)
+}
+
+// applyServeDefaults mirrors serve.BenchOptions' own defaulting so the run
+// document records the effective values, not zeros.
+func applyServeDefaults(o serve.BenchOptions) serve.BenchOptions {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.Batch <= 0 {
+		o.Batch = 32
+	}
+	if o.ProbeDur <= 0 {
+		o.ProbeDur = 400 * time.Millisecond
+	}
+	if o.FixedDur <= 0 {
+		o.FixedDur = 2 * o.ProbeDur
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.Scale == "" {
+		o.Scale = "tiny"
+	}
+	return o
+}
+
+// checkServeRun is the serve-gate collapse detector, shaped like
+// checkNativeRun: it compares a fresh sweep against the newest run in the
+// baseline BENCH_serve.json and fails only on collapse, not drift.
+//
+// Tolerance-exempt canary (baseline-free): any server 5xx in the fresh
+// fixed-rate runs fails outright — saturation must surface as 429/503
+// backpressure, and a 5xx is a front-end bug no throughput tolerance
+// excuses. Against the baseline, per queue kind: the knee (max_rate_tps)
+// must stay above (1-tol) of baseline, and the fixed-rate p99 must stay
+// under 4× baseline + 5ms (latency on shared CI boxes is far noisier than
+// throughput, so the bound only catches order-of-magnitude blowups). Kinds
+// present on only one side are ignored; an empty baseline passes vacuously.
+func checkServeRun(run ServeBenchRun, baselinePath string, tol float64) error {
+	var canary []string
+	for _, s := range run.Sweeps {
+		if s.ServerErrs > 0 {
+			canary = append(canary, fmt.Sprintf("%s: %d server 5xx during the fixed-rate run", s.Queue, s.ServerErrs))
+		}
+	}
+	if len(canary) > 0 {
+		return fmt.Errorf("zero-5xx canary tripped:\n  %s", strings.Join(canary, "\n  "))
+	}
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var doc ServeBenchDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	if doc.Schema != serveBenchSchema {
+		return fmt.Errorf("baseline %s: unknown schema %q", baselinePath, doc.Schema)
+	}
+	if len(doc.Runs) == 0 {
+		fmt.Fprintf(os.Stderr, "serve gate: baseline %s has no runs; passing vacuously\n", baselinePath)
+		return nil
+	}
+	base := doc.Runs[len(doc.Runs)-1]
+	baseByQueue := make(map[string]serve.SweepMeasure, len(base.Sweeps))
+	for _, s := range base.Sweeps {
+		baseByQueue[s.Queue] = s
+	}
+	var failures []string
+	for _, s := range run.Sweeps {
+		b, ok := baseByQueue[s.Queue]
+		if !ok {
+			continue
+		}
+		floor := b.MaxRate * (1 - tol)
+		p99Cap := b.P99Ms*4 + 5.0
+		switch {
+		case s.MaxRate < floor:
+			failures = append(failures, fmt.Sprintf(
+				"%s: knee %.0f tasks/s < %.0f (%.0f%% of %q's %.0f)",
+				s.Queue, s.MaxRate, floor, 100*(1-tol), base.Label, b.MaxRate))
+		case s.P99Ms > p99Cap:
+			failures = append(failures, fmt.Sprintf(
+				"%s: fixed-rate p99 %.2fms > %.2fms (baseline %q: %.2fms)",
+				s.Queue, s.P99Ms, p99Cap, base.Label, b.P99Ms))
+		default:
+			fmt.Fprintf(os.Stderr, "serve gate: %-10s OK  knee %.0f tasks/s vs %q's %.0f (floor %.0f), p99 %.2fms\n",
+				s.Queue, s.MaxRate, base.Label, b.MaxRate, floor, s.P99Ms)
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("serving collapse vs baseline %q:\n  %s",
+			base.Label, strings.Join(failures, "\n  "))
+	}
+	return nil
+}

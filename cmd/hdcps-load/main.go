@@ -1,0 +1,101 @@
+// Command hdcps-load is the open-loop traffic driver for hdcps-serve: it
+// offers refresh tasks at a fixed arrival rate (Poisson, uniform, or bursty
+// schedules) regardless of how fast the server absorbs them, and reports
+// the latency quantiles plus the accept/backpressure/error accounting. Any
+// 5xx or transport error makes the exit status nonzero — saturation must
+// surface as 429/503 backpressure, never as a server failure.
+//
+// Usage:
+//
+//	hdcps-load -url http://127.0.0.1:8080 -rate 4000 -duration 5s
+//	hdcps-load -url http://$(cat /tmp/addr) -rate 20000 -arrivals bursty -hist hist.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"hdcps/internal/load"
+	"hdcps/internal/serve"
+)
+
+func main() {
+	var (
+		url      = flag.String("url", "http://127.0.0.1:8080", "hdcps-serve base URL")
+		jobID    = flag.Uint("job", 0, "target job ID")
+		rate     = flag.Float64("rate", 4000, "offered task rate, tasks/second")
+		duration = flag.Duration("duration", 5*time.Second, "how long to generate arrivals")
+		batch    = flag.Int("batch", 16, "tasks per submit request")
+		arrivals = flag.String("arrivals", "poisson", "arrival schedule: poisson, uniform, bursty")
+		burstF   = flag.Float64("burst-factor", 4, "bursty peak-to-mean ratio")
+		burstP   = flag.Duration("burst-period", 200*time.Millisecond, "bursty on+off cycle")
+		seed     = flag.Int64("seed", 1, "arrival-schedule seed")
+		inflight = flag.Int("inflight", 128, "max concurrent submit requests (arrivals beyond are shed)")
+		histOut  = flag.String("hist", "", "write the latency histogram JSON here")
+	)
+	flag.Parse()
+	base := strings.TrimSuffix(*url, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+
+	ctx := context.Background()
+	cl := &serve.Client{Base: base, HC: &http.Client{Timeout: 30 * time.Second}}
+	info, err := cl.Info(ctx)
+	if err != nil {
+		fatal(fmt.Errorf("fetching /v1/info: %w", err))
+	}
+	fmt.Printf("target: %s %s/%s (%d nodes), %d workers, queue %s\n",
+		base, info.Workload, info.Input, info.Nodes, info.Workers, info.Queue)
+
+	gen := serve.RefreshGen(info.Nodes, *seed)
+	res := load.Run(ctx, cl.Submitter(ctx, uint32(*jobID), gen), load.Options{
+		Rate:        *rate,
+		Batch:       *batch,
+		Duration:    *duration,
+		Arrivals:    *arrivals,
+		BurstFactor: *burstF,
+		BurstPeriod: *burstP,
+		Seed:        *seed,
+		MaxInFlight: *inflight,
+	})
+
+	sum := res.Hist.Summary()
+	fmt.Printf("offered:  %d tasks (%.0f/s target %.0f/s, %s arrivals, %s)\n",
+		res.Offered, res.OfferedRate(), *rate, *arrivals, res.Elapsed.Round(time.Millisecond))
+	fmt.Printf("accepted: %d (%.0f/s)  rejected: %d  shed: %d  requests: %d\n",
+		res.Accepted, res.AcceptedRate(), res.Rejected, res.Shed, res.Requests)
+	fmt.Printf("latency:  p50 %.2fms  p90 %.2fms  p99 %.2fms  p99.9 %.2fms  max %.2fms\n",
+		sum.P50Ms, sum.P90Ms, sum.P99Ms, sum.P999Ms, sum.MaxMs)
+	fmt.Printf("outcomes: %d ok, %d backpressure, %d server-error batches\n",
+		res.BatchesByOut[load.Accepted], res.BatchesByOut[load.Backpressure], res.BatchesByOut[load.ServerError])
+
+	if *histOut != "" {
+		buf, err := json.MarshalIndent(res.Hist, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*histOut, append(buf, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("histogram: %s\n", *histOut)
+	}
+
+	if res.ServerErrs > 0 {
+		fatal(fmt.Errorf("%d server errors (last: %v)", res.ServerErrs, res.LastErr))
+	}
+	if res.Offered == 0 || res.Accepted == 0 {
+		fatal(fmt.Errorf("no traffic landed (offered %d, accepted %d)", res.Offered, res.Accepted))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hdcps-load:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,181 @@
+package load
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hdcps/internal/obs"
+)
+
+// fastSubmitter accepts everything instantly.
+func fastSubmitter(calls *atomic.Int64) Submitter {
+	return func(n int) (int, Outcome, error) {
+		calls.Add(1)
+		return n, Accepted, nil
+	}
+}
+
+func TestOpenLoopHitsTargetRate(t *testing.T) {
+	var calls atomic.Int64
+	res := Run(context.Background(), fastSubmitter(&calls), Options{
+		Rate: 8000, Batch: 8, Duration: 300 * time.Millisecond, Seed: 1,
+	})
+	if res.Accepted != res.Offered || res.Offered == 0 {
+		t.Fatalf("fast target must accept all offers: %+v", res)
+	}
+	// Offered rate within 30% of target (short window, Poisson noise,
+	// loaded CI box).
+	if r := res.OfferedRate(); math.Abs(r-8000)/8000 > 0.30 {
+		t.Fatalf("offered rate %.0f strays too far from 8000", r)
+	}
+	if res.Hist.Count() != res.Requests {
+		t.Fatalf("one latency sample per request: %d != %d", res.Hist.Count(), res.Requests)
+	}
+}
+
+func TestOpenLoopUniformAndBurstyMeanRate(t *testing.T) {
+	for _, kind := range []string{"uniform", "bursty"} {
+		var calls atomic.Int64
+		res := Run(context.Background(), fastSubmitter(&calls), Options{
+			Rate: 6000, Batch: 6, Duration: 400 * time.Millisecond,
+			Arrivals: kind, Seed: 2,
+		})
+		if res.Offered == 0 {
+			t.Fatalf("%s: no arrivals", kind)
+		}
+		if r := res.OfferedRate(); math.Abs(r-6000)/6000 > 0.35 {
+			t.Fatalf("%s: mean offered rate %.0f strays too far from 6000", kind, r)
+		}
+	}
+}
+
+func TestOpenLoopDoesNotBlockOnSlowTarget(t *testing.T) {
+	// A submitter slower than the arrival rate: the open loop must keep
+	// offering (shedding beyond MaxInFlight) instead of slowing the clock.
+	slow := func(n int) (int, Outcome, error) {
+		time.Sleep(50 * time.Millisecond)
+		return n, Accepted, nil
+	}
+	res := Run(context.Background(), slow, Options{
+		Rate: 4000, Batch: 4, Duration: 250 * time.Millisecond,
+		Seed: 3, MaxInFlight: 2,
+	})
+	if res.Shed == 0 {
+		t.Fatalf("slow target with MaxInFlight=2 must shed: %+v", res)
+	}
+	if r := res.OfferedRate(); r < 4000*0.6 {
+		t.Fatalf("offered rate %.0f collapsed: the loop blocked on the target", r)
+	}
+}
+
+func TestOutcomeAccounting(t *testing.T) {
+	var i atomic.Int64
+	mixed := func(n int) (int, Outcome, error) {
+		switch i.Add(1) % 3 {
+		case 0:
+			return 0, ServerError, errors.New("boom")
+		case 1:
+			return 0, Backpressure, nil
+		default:
+			return n, Accepted, nil
+		}
+	}
+	res := Run(context.Background(), mixed, Options{
+		Rate: 3000, Batch: 3, Duration: 300 * time.Millisecond, Seed: 4,
+	})
+	if res.ServerErrs == 0 || res.Rejected == 0 || res.Accepted == 0 {
+		t.Fatalf("all three outcomes must be counted: %+v", res)
+	}
+	if res.LastErr == nil {
+		t.Fatal("server-error detail must be retained")
+	}
+	sum := res.BatchesByOut[Accepted] + res.BatchesByOut[Backpressure] + res.BatchesByOut[ServerError]
+	if sum != res.Requests {
+		t.Fatalf("outcome batches %d != requests %d", sum, res.Requests)
+	}
+}
+
+func TestRunRespectsContextCancel(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	var calls atomic.Int64
+	start := time.Now()
+	Run(ctx, fastSubmitter(&calls), Options{Rate: 100, Batch: 1, Duration: 10 * time.Second, Seed: 5})
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("cancelled run did not stop promptly")
+	}
+}
+
+// stepTarget models a target with a hard capacity knee: rates at or below
+// cap are fully accepted with low latency; above it the excess is refused.
+func stepTarget(cap float64) Probe {
+	return func(rate float64, d time.Duration) (Result, error) {
+		res := Result{Hist: newTestHist(2 * time.Millisecond)}
+		res.Elapsed = d
+		res.Offered = int64(rate * d.Seconds())
+		acc := res.Offered
+		if rate > cap {
+			acc = int64(cap * d.Seconds())
+			res.Rejected = res.Offered - acc
+		}
+		res.Accepted = acc
+		return res, nil
+	}
+}
+
+func newTestHist(lat time.Duration) *obs.Histogram {
+	h := obs.NewHistogram()
+	for i := 0; i < 100; i++ {
+		h.ObserveDuration(lat)
+	}
+	return h
+}
+
+func TestSaturateFindsTheKnee(t *testing.T) {
+	max, trace, err := Saturate(stepTarget(10000), 1000, 1e6, 100*time.Millisecond, 8, Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The knee is 10k: everything <= 10k accepts 100%, above it the
+	// accept fraction falls below 0.9 once offered > cap/0.9 ≈ 11.1k.
+	if max < 9000 || max > 11200 {
+		t.Fatalf("knee estimate %.0f outside [9000, 11200] (trace %+v)", max, trace)
+	}
+	if len(trace) < 4 {
+		t.Fatalf("expected doubling + bisection probes, got %d", len(trace))
+	}
+}
+
+func TestSaturateUnsustainableStart(t *testing.T) {
+	max, trace, err := Saturate(stepTarget(10), 1000, 1e6, 50*time.Millisecond, 4, Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max != 0 {
+		t.Fatalf("unsustainable floor must report 0, got %.0f", max)
+	}
+	if len(trace) == 0 || trace[0].Sustainable {
+		t.Fatalf("trace must record the failed floor probe: %+v", trace)
+	}
+}
+
+func TestSaturateSustainedAtCap(t *testing.T) {
+	max, _, err := Saturate(stepTarget(1e9), 1000, 8000, 50*time.Millisecond, 4, Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(max-8000) > 1 {
+		t.Fatalf("cap-sustained search must return the cap's accepted rate, got %.0f", max)
+	}
+}
+
+func TestPolicyServerErrorAlwaysFails(t *testing.T) {
+	r := Result{Offered: 100, Accepted: 100, ServerErrs: 1, Hist: obs.NewHistogram(), Elapsed: time.Second}
+	if ok, why := (Policy{}).Sustainable(r); ok || why == "" {
+		t.Fatal("a server error must make the probe unsustainable")
+	}
+}

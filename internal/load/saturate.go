@@ -1,0 +1,140 @@
+package load
+
+// The saturation sweep answers "what is the max sustainable tasks/s?" by
+// probing the target with short fixed-rate open-loop runs and binary
+// searching the rate axis: double from a known-good floor until a probe
+// fails the sustainability policy (or the cap is hit), then bisect the
+// bracket. This is the serving counterpart of the closed-loop tasks/s in
+// BENCH_native.json — the number it finds is the knee of the latency/
+// goodput curve, not the peak of a best-case burst.
+
+import (
+	"fmt"
+	"time"
+)
+
+// Policy decides whether one probe's Result counts as sustained service.
+type Policy struct {
+	// MinAcceptFrac is the floor on Accepted/Offered (default 0.9): below
+	// it the target is shedding or refusing too much of the offered load.
+	MinAcceptFrac float64
+	// MaxP99 bounds the probe's p99 request latency; 0 disables the bound.
+	MaxP99 time.Duration
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MinAcceptFrac <= 0 || p.MinAcceptFrac > 1 {
+		p.MinAcceptFrac = 0.9
+	}
+	return p
+}
+
+// Sustainable reports whether r met the policy, with a reason when not.
+// A server error always fails: saturation must surface as backpressure,
+// never as a 5xx.
+func (p Policy) Sustainable(r Result) (bool, string) {
+	p = p.withDefaults()
+	if r.ServerErrs > 0 {
+		return false, fmt.Sprintf("%d server errors", r.ServerErrs)
+	}
+	if r.Offered == 0 {
+		return false, "no offered load"
+	}
+	frac := float64(r.Accepted) / float64(r.Offered)
+	if frac < p.MinAcceptFrac {
+		return false, fmt.Sprintf("accepted %.1f%% < %.0f%%", 100*frac, 100*p.MinAcceptFrac)
+	}
+	if p.MaxP99 > 0 {
+		if p99 := time.Duration(r.Hist.Quantile(0.99)); p99 > p.MaxP99 {
+			return false, fmt.Sprintf("p99 %s > %s", p99, p.MaxP99)
+		}
+	}
+	return true, ""
+}
+
+// Probe runs one fixed-rate open-loop measurement at the given task rate.
+type Probe func(rate float64, d time.Duration) (Result, error)
+
+// ProbePoint records one step of the search for diagnostics.
+type ProbePoint struct {
+	Rate        float64 `json:"rate_tps"`
+	Accepted    float64 `json:"accepted_tps"`
+	P99Ms       float64 `json:"p99_ms"`
+	Sustainable bool    `json:"sustainable"`
+	Reason      string  `json:"reason,omitempty"`
+}
+
+// Saturate binary-searches the max sustainable task rate in
+// [start, capRate]. It doubles from start until a probe fails (or capRate
+// is reached), then bisects the bracket `iters` times. It returns the
+// accepted rate the best sustainable probe actually achieved — the honest
+// throughput — plus the probe trace. If even the starting rate is
+// unsustainable, maxRate is 0 and the trace says why.
+func Saturate(probe Probe, start, capRate float64, probeDur time.Duration, iters int, pol Policy) (maxRate float64, trace []ProbePoint, err error) {
+	if start <= 0 || capRate < start || probeDur <= 0 {
+		return 0, nil, fmt.Errorf("load: bad saturate bounds start=%g cap=%g dur=%s", start, capRate, probeDur)
+	}
+	if iters <= 0 {
+		iters = 5
+	}
+	try := func(rate float64) (bool, Result, error) {
+		r, err := probe(rate, probeDur)
+		if err != nil {
+			return false, r, err
+		}
+		ok, why := pol.Sustainable(r)
+		trace = append(trace, ProbePoint{
+			Rate:        rate,
+			Accepted:    r.AcceptedRate(),
+			P99Ms:       float64(r.Hist.Quantile(0.99)) / 1e6,
+			Sustainable: ok,
+			Reason:      why,
+		})
+		return ok, r, nil
+	}
+
+	// Doubling phase: find the first unsustainable rate.
+	lo, hi := 0.0, 0.0
+	best := 0.0
+	for rate := start; ; rate *= 2 {
+		if rate > capRate {
+			rate = capRate
+		}
+		ok, r, err := try(rate)
+		if err != nil {
+			return best, trace, err
+		}
+		if ok {
+			lo = rate
+			if a := r.AcceptedRate(); a > best {
+				best = a
+			}
+			if rate >= capRate {
+				return best, trace, nil // sustained at the cap
+			}
+			continue
+		}
+		hi = rate
+		break
+	}
+	if lo == 0 {
+		return 0, trace, nil // even `start` was unsustainable
+	}
+	// Bisection phase.
+	for i := 0; i < iters; i++ {
+		mid := (lo + hi) / 2
+		ok, r, err := try(mid)
+		if err != nil {
+			return best, trace, err
+		}
+		if ok {
+			lo = mid
+			if a := r.AcceptedRate(); a > best {
+				best = a
+			}
+		} else {
+			hi = mid
+		}
+	}
+	return best, trace, nil
+}

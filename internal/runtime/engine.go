@@ -1582,6 +1582,11 @@ func (e *Engine) Result() Result {
 // unset).
 func (e *Engine) Obs() *obs.Recorder { return e.obs }
 
+// Outstanding returns the engine-wide count of tasks submitted or spawned
+// but not yet retired — one atomic load, cheap enough for admission checks
+// on every request (the serving front-end's global load shed keys off it).
+func (e *Engine) Outstanding() int64 { return e.outstanding.Load() }
+
 // ControlTrace returns the control plane's time series so far: one point
 // per controller interval with the measured drift, the reference priority,
 // and the TDF chosen for the next interval. Safe to call while the fleet

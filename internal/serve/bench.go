@@ -1,0 +1,222 @@
+package serve
+
+// The serving bench answers the question BENCH_native.json cannot: not "how
+// fast does the engine chew a fixed task graph" but "how much open-loop
+// traffic can the whole front-end sustain" — HTTP parsing, admission,
+// submission, scheduling, and backpressure included. Per local-queue kind it
+// boots a real server on a loopback listener, finds the saturation knee with
+// the doubling/bisection search (internal/load.Saturate), then holds a
+// fixed rate below the knee to read the latency quantiles, and finally
+// proves the graceful-shutdown ledger. Results feed BENCH_serve.json and
+// the serve-gate collapse detector.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"hdcps/internal/load"
+	"hdcps/internal/runtime"
+)
+
+// BenchOptions parameterize one serving sweep.
+type BenchOptions struct {
+	// Graph, Scale, Seed pick the builtin input (defaults road/tiny/42).
+	Graph string
+	Scale string
+	Seed  uint64
+	// Workers is the engine fleet size per server (0: 4).
+	Workers int
+	// Kinds are the queue kinds to sweep (nil: runtime.QueueKinds()).
+	Kinds []string
+	// Batch is tasks per submit request (0: 32).
+	Batch int
+	// ProbeDur is each saturation probe's length (0: 400ms); FixedDur the
+	// fixed-rate latency run's (0: 2×ProbeDur).
+	ProbeDur time.Duration
+	FixedDur time.Duration
+	// StartRate and CapRate bound the knee search in tasks/s
+	// (0: 2000 and 2e6).
+	StartRate float64
+	CapRate   float64
+	// Iters is the bisection depth after the doubling phase (0: 5).
+	Iters int
+	// Quota is the job-0 admission quota that converts saturation into
+	// 429s (0: 16384).
+	Quota int64
+}
+
+func (o BenchOptions) withDefaults() BenchOptions {
+	if o.Graph == "" {
+		o.Graph = "road"
+	}
+	if o.Scale == "" {
+		o.Scale = "tiny"
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if len(o.Kinds) == 0 {
+		o.Kinds = runtime.QueueKinds()
+	}
+	if o.Batch <= 0 {
+		o.Batch = 32
+	}
+	if o.ProbeDur <= 0 {
+		o.ProbeDur = 400 * time.Millisecond
+	}
+	if o.FixedDur <= 0 {
+		o.FixedDur = 2 * o.ProbeDur
+	}
+	if o.StartRate <= 0 {
+		o.StartRate = 2000
+	}
+	if o.CapRate <= 0 {
+		o.CapRate = 2e6
+	}
+	if o.Iters <= 0 {
+		o.Iters = 5
+	}
+	if o.Quota <= 0 {
+		o.Quota = 16384
+	}
+	return o
+}
+
+// SweepMeasure is one queue kind's row of the sweep: the knee, the probe
+// trace that found it, and the fixed-rate run's latency/outcome profile.
+type SweepMeasure struct {
+	Queue       string            `json:"queue"`
+	MaxRate     float64           `json:"max_rate_tps"`
+	Probes      []load.ProbePoint `json:"probes"`
+	FixedRate   float64           `json:"fixed_rate_tps"`
+	AcceptedTPS float64           `json:"accepted_tps"`
+	P50Ms       float64           `json:"p50_ms"`
+	P99Ms       float64           `json:"p99_ms"`
+	P999Ms      float64           `json:"p999_ms"`
+	Accepted    int64             `json:"accepted"`
+	Rejected    int64             `json:"rejected"`
+	ServerErrs  int64             `json:"server_5xx"`
+}
+
+// RunBench sweeps every requested queue kind. logf (nil allowed) receives
+// progress lines.
+func RunBench(o BenchOptions, logf func(format string, args ...any)) ([]SweepMeasure, error) {
+	o = o.withDefaults()
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	out := make([]SweepMeasure, 0, len(o.Kinds))
+	for _, kind := range o.Kinds {
+		m, err := benchKind(o, kind, logf)
+		if err != nil {
+			return out, fmt.Errorf("serve bench %s: %w", kind, err)
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+func benchKind(o BenchOptions, kind string, logf func(string, ...any)) (SweepMeasure, error) {
+	m := SweepMeasure{Queue: kind}
+	srv, err := New(Config{
+		Workload:       "sssp",
+		Input:          o.Graph,
+		Scale:          o.Scale,
+		Seed:           o.Seed,
+		Workers:        o.Workers,
+		QueueKind:      kind,
+		DefaultQuota:   o.Quota,
+		MaxOutstanding: -1, // the quota is the backpressure source under test
+		DrainTimeout:   60 * time.Second,
+		SeedInitial:    true,
+	})
+	if err != nil {
+		return m, err
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return m, err
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(lis) }()
+
+	ctx := context.Background()
+	// Converge the seeded workload before measuring: the first refresh wave
+	// re-relaxes from injected nodes, and the knee should reflect the
+	// steady state, not algorithm convergence.
+	if err := srv.Engine().Drain(ctx); err != nil {
+		return m, fmt.Errorf("initial drain: %w", err)
+	}
+
+	cl := &Client{Base: "http://" + lis.Addr().String()}
+	info, err := cl.Info(ctx)
+	if err != nil {
+		return m, err
+	}
+	gen := RefreshGen(info.Nodes, int64(o.Seed))
+	submit := cl.Submitter(ctx, 0, gen)
+
+	probe := func(rate float64, d time.Duration) (load.Result, error) {
+		res := load.Run(ctx, submit, load.Options{
+			Rate: rate, Batch: o.Batch, Duration: d,
+			Seed: int64(o.Seed), MaxInFlight: 256,
+		})
+		// Settle the backlog so the next probe starts from a clean engine;
+		// a probe that left work the engine cannot finish is itself a
+		// failure worth surfacing.
+		dctx, cancel := context.WithTimeout(ctx, 60*time.Second)
+		defer cancel()
+		if err := srv.Engine().Drain(dctx); err != nil {
+			return res, fmt.Errorf("inter-probe drain: %w", err)
+		}
+		return res, nil
+	}
+	maxRate, trace, err := load.Saturate(probe, o.StartRate, o.CapRate, o.ProbeDur, o.Iters, load.Policy{})
+	if err != nil {
+		return m, err
+	}
+	m.MaxRate = maxRate
+	m.Probes = trace
+	logf("serve-bench %-10s knee %.0f tasks/s (%d probes)", kind, maxRate, len(trace))
+	if maxRate <= 0 {
+		return m, fmt.Errorf("no sustainable rate found (floor %.0f tasks/s failed: %+v)", o.StartRate, trace)
+	}
+
+	// Fixed-rate run at 60% of the knee: comfortably sustainable, so the
+	// quantiles describe service latency rather than overload queueing.
+	m.FixedRate = 0.6 * maxRate
+	fixed := load.Run(ctx, submit, load.Options{
+		Rate: m.FixedRate, Batch: o.Batch, Duration: o.FixedDur,
+		Seed: int64(o.Seed) + 1, MaxInFlight: 256,
+	})
+	sum := fixed.Hist.Summary()
+	m.AcceptedTPS = fixed.AcceptedRate()
+	m.P50Ms, m.P99Ms, m.P999Ms = sum.P50Ms, sum.P99Ms, sum.P999Ms
+	m.Accepted = fixed.Accepted
+	m.Rejected = fixed.Rejected
+	m.ServerErrs = fixed.ServerErrs
+	logf("serve-bench %-10s fixed %.0f tasks/s: p50 %.2fms p99 %.2fms p99.9 %.2fms (%d accepted, %d rejected, %d 5xx)",
+		kind, m.FixedRate, m.P50Ms, m.P99Ms, m.P999Ms, m.Accepted, m.Rejected, m.ServerErrs)
+	if fixed.LastErr != nil && m.ServerErrs > 0 {
+		logf("serve-bench %-10s last server error: %v", kind, fixed.LastErr)
+	}
+
+	sctx, cancel := context.WithTimeout(ctx, 90*time.Second)
+	defer cancel()
+	rep, err := srv.Shutdown(sctx)
+	if err != nil {
+		return m, fmt.Errorf("graceful shutdown: %w", err)
+	}
+	if !rep.LedgerExact {
+		return m, fmt.Errorf("shutdown ledger not exact: %+v", rep)
+	}
+	if err := <-serveErr; err != nil {
+		return m, fmt.Errorf("http serve: %w", err)
+	}
+	return m, nil
+}

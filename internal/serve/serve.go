@@ -1,0 +1,631 @@
+// Package serve is the network front-end over the multi-tenant Engine: a
+// long-lived HTTP/JSON control-and-data plane that turns the library's
+// Submit/Drain/Cancel lifecycle into endpoints a remote client (or the
+// open-loop load harness in internal/load) can drive. The design constraints
+// mirror the engine's own invariants:
+//
+//   - Backpressure is explicit, never silent: a per-job admission quota
+//     rejection (runtime.QuotaError) maps to 429, a global overload shed or
+//     a draining/stopped engine to 503 — both with a Retry-After hint — and
+//     a cancelled job to 409. A 5xx means a bug, and the serve CI gate
+//     treats any 5xx as a failure.
+//   - Graceful shutdown is ledger-exact: Shutdown stops admitting, lets
+//     in-flight requests finish, drains the engine, and then proves with the
+//     chaos Checker that every accepted task is accounted for (processed,
+//     quarantined, or cancelled — never lost) before stopping the fleet.
+//   - The ops plane (expvar, pprof, the obs recorder's live snapshot) hangs
+//     off the same mux, so one port serves both traffic and diagnostics.
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hdcps/internal/chaos"
+	"hdcps/internal/graph"
+	"hdcps/internal/obs"
+	"hdcps/internal/runtime"
+	"hdcps/internal/task"
+	"hdcps/internal/workload"
+)
+
+// submitFlush is how many NDJSON task lines accumulate before one
+// Engine.Submit call: large enough to amortize the submission path, small
+// enough that a draining server bounces a streaming client promptly.
+const submitFlush = 256
+
+// Config parameterizes one serving instance.
+type Config struct {
+	// Workload and Input name the job-0 algorithm and builtin graph
+	// (road, cage, web, lj, grid), sized by Scale (tiny, small, large)
+	// and generated from Seed.
+	Workload string
+	Input    string
+	Scale    string
+	Seed     uint64
+	// Workers is the engine fleet size (0: runtime default).
+	Workers int
+	// QueueKind selects the local-queue shape (see runtime.QueueKinds).
+	QueueKind string
+	// MaxOutstanding is the global overload shed: a submit that arrives
+	// while the engine-wide outstanding count exceeds it is refused with
+	// 503. 0 defaults to 1<<20; negative disables the shed.
+	MaxOutstanding int64
+	// DefaultQuota is job 0's admission quota (runtime MaxOutstanding →
+	// 429 per tenant). 0 means unlimited.
+	DefaultQuota int64
+	// DrainTimeout bounds Shutdown's engine drain (default 30s).
+	DrainTimeout time.Duration
+	// Obs attaches an observability recorder (served at /debug/obs).
+	Obs bool
+	// SeedInitial submits the workload's InitialTasks at startup, so the
+	// algorithm state converges before external traffic lands.
+	SeedInitial bool
+	// Log receives lifecycle lines (nil: standard logger).
+	Log *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workload == "" {
+		c.Workload = "sssp"
+	}
+	if c.Input == "" {
+		c.Input = "road"
+	}
+	if c.Scale == "" {
+		c.Scale = "small"
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.MaxOutstanding == 0 {
+		c.MaxOutstanding = 1 << 20
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	if c.Log == nil {
+		c.Log = log.Default()
+	}
+	return c
+}
+
+// buildInput generates the builtin graph for (name, scale, seed), matching
+// the sizes the CLI tools use.
+func buildInput(name, scale string, seed uint64) (*graph.CSR, error) {
+	var roadW, cageN, webN, ljN, gridW int
+	switch scale {
+	case "tiny":
+		roadW, cageN, webN, ljN, gridW = 48, 1500, 1500, 1200, 32
+	case "small":
+		roadW, cageN, webN, ljN, gridW = 120, 8000, 8000, 6000, 64
+	case "large":
+		roadW, cageN, webN, ljN, gridW = 240, 30000, 30000, 20000, 128
+	default:
+		return nil, fmt.Errorf("serve: unknown scale %q (tiny, small, large)", scale)
+	}
+	switch name {
+	case "road":
+		return graph.Road(roadW, roadW, seed), nil
+	case "cage":
+		return graph.Cage(cageN, 34, 80, seed), nil
+	case "web":
+		return graph.Web(webN, seed), nil
+	case "lj":
+		return graph.LJ(ljN, seed), nil
+	case "grid":
+		return graph.Grid(gridW, gridW, 100, seed), nil
+	}
+	return nil, fmt.Errorf("serve: unknown input %q (road, cage, web, lj, grid)", name)
+}
+
+// Server is one serving instance: an engine, its job handles, and the HTTP
+// mux. Construct with New, expose Handler (httptest) or Serve (a real
+// listener), and always finish with Shutdown — that is where the
+// no-accepted-task-lost proof runs.
+type Server struct {
+	cfg Config
+	eng *runtime.Engine
+	g   *graph.CSR
+	wl  workload.Workload
+	rec *obs.Recorder
+	mux *http.ServeMux
+
+	mu   sync.RWMutex
+	jobs map[task.JobID]*runtime.Job
+
+	// accepted counts every task this server admitted into the engine
+	// (initial seeds included). Shutdown proves accepted == Submitted.
+	accepted atomic.Int64
+	draining atomic.Bool
+
+	hsMu sync.Mutex
+	hs   *http.Server
+
+	started time.Time
+}
+
+// New builds the engine, seeds it if configured, and starts the fleet.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	g, err := buildInput(cfg.Input, cfg.Scale, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	wl, err := workload.New(cfg.Workload, g)
+	if err != nil {
+		return nil, err
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	rcfg := runtime.DefaultConfig(workers)
+	rcfg.Seed = cfg.Seed
+	rcfg.QueueKind = cfg.QueueKind
+	rcfg.DefaultJob = runtime.JobConfig{Name: cfg.Workload, MaxOutstanding: cfg.DefaultQuota}
+	var rec *obs.Recorder
+	if cfg.Obs {
+		rec = obs.New(obs.Config{Workers: workers})
+		rcfg.Obs = rec
+	}
+	eng := runtime.NewEngine(wl, rcfg)
+	s := &Server{
+		cfg:     cfg,
+		eng:     eng,
+		g:       g,
+		wl:      wl,
+		rec:     rec,
+		jobs:    map[task.JobID]*runtime.Job{0: eng.DefaultJob()},
+		started: time.Now(),
+	}
+	if cfg.SeedInitial {
+		seeds := wl.InitialTasks()
+		if err := eng.Submit(seeds...); err != nil {
+			return nil, fmt.Errorf("serve: seeding initial tasks: %w", err)
+		}
+		s.accepted.Add(int64(len(seeds)))
+	}
+	if err := eng.Start(); err != nil {
+		return nil, err
+	}
+	s.mux = s.buildMux()
+	return s, nil
+}
+
+// Engine exposes the underlying engine (in-process benches drain between
+// probes without a network round-trip).
+func (s *Server) Engine() *runtime.Engine { return s.eng }
+
+// Handler returns the full mux: the /v1 API, /healthz, and the ops plane.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) buildMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/info", s.handleInfo)
+	mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	mux.HandleFunc("POST /v1/jobs", s.handleJobCreate)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("POST /v1/jobs/{id}/submit", s.handleSubmit)
+	mux.HandleFunc("POST /v1/jobs/{id}/drain", s.handleDrain)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+
+	// Ops plane: expvar, pprof (explicit routes — the server never touches
+	// the DefaultServeMux), and the obs recorder's live snapshot.
+	publishObsVar(s.rec)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	if s.rec != nil {
+		mux.Handle("GET /debug/obs", s.rec.Handler())
+	}
+	return mux
+}
+
+// expvar's registry is process-global and Publish panics on a duplicate
+// name, so the package registers one Func that follows the most recently
+// constructed recorder (tests build many servers per process).
+var (
+	obsVarOnce sync.Once
+	obsVarRec  atomic.Pointer[obs.Recorder]
+)
+
+func publishObsVar(rec *obs.Recorder) {
+	if rec != nil {
+		obsVarRec.Store(rec)
+	}
+	obsVarOnce.Do(func() {
+		expvar.Publish("hdcps_obs", expvar.Func(func() any {
+			if r := obsVarRec.Load(); r != nil {
+				return r.Vars()()
+			}
+			return nil
+		}))
+	})
+}
+
+// errorBody is the JSON error envelope. Accepted carries how many tasks of
+// a streaming submit were admitted before the failure, so a client can
+// resume without re-sending admitted work.
+type errorBody struct {
+	Error        string `json:"error"`
+	Accepted     int64  `json:"accepted"`
+	RetryAfterMs int64  `json:"retry_after_ms,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeSubmitErr maps an admission failure onto its HTTP shape. The mapping
+// is the backpressure contract the load harness keys off: 429 and 503 are
+// retryable pressure, 409 is terminal for the job, 400 is a caller bug.
+func writeSubmitErr(w http.ResponseWriter, err error, accepted int64) {
+	var qe *runtime.QuotaError
+	switch {
+	case errors.As(err, &qe):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorBody{
+			Error: err.Error(), Accepted: accepted, RetryAfterMs: 50,
+		})
+	case errors.Is(err, runtime.ErrJobCancelled):
+		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error(), Accepted: accepted})
+	case errors.Is(err, runtime.ErrStopped):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{
+			Error: err.Error(), Accepted: accepted, RetryAfterMs: 200,
+		})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error(), Accepted: accepted})
+	}
+}
+
+// shedErr is the 503 for a draining server or a global overload shed.
+func shedErr(w http.ResponseWriter, msg string, accepted int64) {
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable, errorBody{
+		Error: msg, Accepted: accepted, RetryAfterMs: 200,
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		shedErr(w, "draining", 0)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "uptime_s": time.Since(s.started).Seconds()})
+}
+
+// Info is the /v1/info document: what the server runs and how big the node
+// ID space is (the load generator samples nodes from [0, Nodes)).
+type Info struct {
+	Workload    string `json:"workload"`
+	Input       string `json:"input"`
+	Scale       string `json:"scale"`
+	Nodes       int    `json:"nodes"`
+	Edges       int    `json:"edges"`
+	Workers     int    `json:"workers"`
+	Queue       string `json:"queue"`
+	Jobs        int    `json:"jobs"`
+	Draining    bool   `json:"draining"`
+	Accepted    int64  `json:"accepted"`
+	Outstanding int64  `json:"outstanding"`
+}
+
+func (s *Server) info() Info {
+	s.mu.RLock()
+	jobs := len(s.jobs)
+	s.mu.RUnlock()
+	workers := s.cfg.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	queue := s.cfg.QueueKind
+	if queue == "" {
+		queue = runtime.QueueTwoLevel
+	}
+	return Info{
+		Workload:    s.cfg.Workload,
+		Input:       s.cfg.Input,
+		Scale:       s.cfg.Scale,
+		Nodes:       s.g.NumNodes(),
+		Edges:       s.g.NumEdges(),
+		Workers:     workers,
+		Queue:       queue,
+		Jobs:        jobs,
+		Draining:    s.draining.Load(),
+		Accepted:    s.accepted.Load(),
+		Outstanding: s.eng.Outstanding(),
+	}
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.info())
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.eng.Snapshot())
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.eng.Snapshot().Jobs)
+}
+
+// JobSpec is the POST /v1/jobs body. The new tenant runs a fresh clone of
+// the server's workload over the same graph.
+type JobSpec struct {
+	Name           string `json:"name"`
+	Weight         int    `json:"weight"`
+	MaxOutstanding int64  `json:"max_outstanding"`
+	TDFBias        int    `json:"tdf_bias"`
+}
+
+func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		shedErr(w, "draining", 0)
+		return
+	}
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad job spec: " + err.Error()})
+		return
+	}
+	job, err := s.eng.NewJob(s.wl.Clone(), runtime.JobConfig{
+		Name:           spec.Name,
+		Weight:         spec.Weight,
+		MaxOutstanding: spec.MaxOutstanding,
+		TDFBias:        spec.TDFBias,
+	})
+	if err != nil {
+		writeSubmitErr(w, err, 0)
+		return
+	}
+	s.mu.Lock()
+	s.jobs[job.ID()] = job
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, map[string]any{"id": job.ID(), "name": job.Name()})
+}
+
+// jobFor resolves the {id} path value to a handle; nil means the response
+// was already written.
+func (s *Server) jobFor(w http.ResponseWriter, r *http.Request) *runtime.Job {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 32)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad job id"})
+		return nil
+	}
+	s.mu.RLock()
+	job := s.jobs[task.JobID(id)]
+	s.mu.RUnlock()
+	if job == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: fmt.Sprintf("no job %d", id)})
+		return nil
+	}
+	return job
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	job := s.jobFor(w, r)
+	if job == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Snapshot())
+}
+
+// TaskSpec is one NDJSON line of a submit stream.
+type TaskSpec struct {
+	Node uint32 `json:"node"`
+	Prio int64  `json:"prio"`
+	Data uint64 `json:"data"`
+}
+
+// submitResult is the 200 body of a submit.
+type submitResult struct {
+	Accepted int64 `json:"accepted"`
+}
+
+// handleSubmit streams NDJSON task lines into the job, flushing every
+// submitFlush lines as one Engine submit. The draining flag and the global
+// shed are re-checked at every flush, so a long stream cannot outlive a
+// Shutdown's admission cutoff or bury an overloaded engine.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	job := s.jobFor(w, r)
+	if job == nil {
+		return
+	}
+	nodes := uint32(s.g.NumNodes())
+	var accepted int64
+	batch := make([]task.Task, 0, submitFlush)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if s.draining.Load() {
+			return errDraining
+		}
+		if max := s.cfg.MaxOutstanding; max > 0 && s.eng.Outstanding() > max {
+			return errOverload
+		}
+		if err := job.Submit(batch...); err != nil {
+			return err
+		}
+		n := int64(len(batch))
+		accepted += n
+		s.accepted.Add(n)
+		batch = batch[:0]
+		return nil
+	}
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		line++
+		var spec TaskSpec
+		if err := json.Unmarshal(raw, &spec); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{
+				Error:    fmt.Sprintf("line %d: bad task spec: %v", line, err),
+				Accepted: accepted,
+			})
+			return
+		}
+		if spec.Node >= nodes {
+			writeJSON(w, http.StatusBadRequest, errorBody{
+				Error:    fmt.Sprintf("line %d: node %d out of range [0,%d)", line, spec.Node, nodes),
+				Accepted: accepted,
+			})
+			return
+		}
+		batch = append(batch, task.Task{Node: graph.NodeID(spec.Node), Prio: spec.Prio, Data: spec.Data})
+		if len(batch) >= submitFlush {
+			if err := flush(); err != nil {
+				s.submitFailure(w, err, accepted)
+				return
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "reading body: " + err.Error(), Accepted: accepted})
+		return
+	}
+	if err := flush(); err != nil {
+		s.submitFailure(w, err, accepted)
+		return
+	}
+	writeJSON(w, http.StatusOK, submitResult{Accepted: accepted})
+}
+
+var (
+	errDraining = errors.New("serve: draining, not admitting work")
+	errOverload = errors.New("serve: engine over global outstanding limit")
+)
+
+func (s *Server) submitFailure(w http.ResponseWriter, err error, accepted int64) {
+	if errors.Is(err, errDraining) || errors.Is(err, errOverload) {
+		shedErr(w, err.Error(), accepted)
+		return
+	}
+	writeSubmitErr(w, err, accepted)
+}
+
+// handleDrain blocks until the job is quiescent or ?timeout= (default the
+// server's DrainTimeout) expires — a stall returns 504 with the engine's
+// diagnostics text so the client sees which tenant wedged.
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	job := s.jobFor(w, r)
+	if job == nil {
+		return
+	}
+	d := s.cfg.DrainTimeout
+	if t := r.URL.Query().Get("timeout"); t != "" {
+		var err error
+		if d, err = time.ParseDuration(t); err != nil || d <= 0 {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad timeout " + t})
+			return
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	defer cancel()
+	if err := job.Drain(ctx); err != nil {
+		writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Snapshot())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job := s.jobFor(w, r)
+	if job == nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.DrainTimeout)
+	defer cancel()
+	if err := job.Cancel(ctx); err != nil {
+		writeJSON(w, http.StatusGatewayTimeout, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Snapshot())
+}
+
+// Serve runs the HTTP server on lis until Shutdown.
+func (s *Server) Serve(lis net.Listener) error {
+	hs := &http.Server{Handler: s.mux}
+	s.hsMu.Lock()
+	s.hs = hs
+	s.hsMu.Unlock()
+	err := hs.Serve(lis)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// ShutdownReport is the graceful-drain verdict: the ledger totals and
+// whether every accepted task was accounted for.
+type ShutdownReport struct {
+	Accepted    int64            `json:"accepted"`
+	Snapshot    runtime.Snapshot `json:"snapshot"`
+	LedgerExact bool             `json:"ledger_exact"`
+}
+
+// Shutdown is the graceful SIGTERM path, in the only order that makes the
+// ledger provable: stop admitting (every in-flight submit's next flush sees
+// the flag), let the HTTP layer finish its in-flight requests, drain the
+// engine to quiescence, prove the conservation ledger (chaos.Checker) and
+// that the engine's Submitted count equals every task this server accepted,
+// then stop the fleet. Any violated step returns an error and a report
+// showing how far the proof got.
+func (s *Server) Shutdown(ctx context.Context) (ShutdownReport, error) {
+	s.draining.Store(true)
+	s.hsMu.Lock()
+	hs := s.hs
+	s.hsMu.Unlock()
+	if hs != nil {
+		if err := hs.Shutdown(ctx); err != nil {
+			return ShutdownReport{Accepted: s.accepted.Load()}, fmt.Errorf("serve: http shutdown: %w", err)
+		}
+	}
+	dctx, cancel := context.WithTimeout(ctx, s.cfg.DrainTimeout)
+	defer cancel()
+	if err := s.eng.Drain(dctx); err != nil {
+		return ShutdownReport{Accepted: s.accepted.Load(), Snapshot: s.eng.Snapshot()},
+			fmt.Errorf("serve: engine drain: %w", err)
+	}
+	snap := s.eng.Snapshot()
+	rep := ShutdownReport{Accepted: s.accepted.Load(), Snapshot: snap}
+	var ck chaos.Checker
+	if err := ck.Quiescent(snap); err != nil {
+		return rep, fmt.Errorf("serve: ledger: %w", err)
+	}
+	if snap.Submitted != rep.Accepted {
+		return rep, fmt.Errorf("serve: accepted-task loss: server accepted %d, engine ledger submitted %d",
+			rep.Accepted, snap.Submitted)
+	}
+	rep.LedgerExact = true
+	if err := s.eng.Stop(ctx); err != nil {
+		return rep, fmt.Errorf("serve: engine stop: %w", err)
+	}
+	return rep, nil
+}
