@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build tier1 vet lint race chaos bench bench-smoke bench-gate bench-native serve-smoke serve-gate serve-bench ci
+.PHONY: all build tier1 vet lint race chaos serve-chaos bench bench-smoke bench-gate bench-native serve-smoke serve-gate serve-bench ci
 
 all: ci
 
@@ -34,7 +34,7 @@ lint:
 # driver tests: racing the full figure suite is ~10min on one core and
 # exercises no concurrency the driver tests don't.
 race:
-	$(GO) test -race ./internal/rq/... ./internal/runtime/... ./internal/bag/... ./internal/obs/... ./internal/exec/... ./internal/chaos/...
+	$(GO) test -race ./internal/rq/... ./internal/runtime/... ./internal/bag/... ./internal/obs/... ./internal/exec/... ./internal/chaos/... ./internal/netchaos/...
 	$(GO) test -race -run 'TestParallel' -count=1 ./internal/exp/
 
 # Chaos tier: the fault-injection soaks (internal/chaos) under the race
@@ -48,6 +48,18 @@ race:
 chaos:
 	$(GO) test -race -count=1 -run 'TestSoak|TestEnginePanic|TestEngineRetry|TestEngineQuarantine|TestEngineDrain|TestEngineOverflow' \
 		./internal/chaos/ ./internal/runtime/
+
+# Serve-chaos tier: the network-boundary soaks under the race detector — a
+# real serve.Server behind the fault-injecting netchaos listener, driven by
+# the retrying client, across every connection-fault mix (RST, stall,
+# short-read/partial-write, latency+throttle, combined with engine-transport
+# chaos). Each mix must end with three-way ledger agreement: client-confirmed
+# admissions == server accepted == engine Submitted (mod chaos duplicates),
+# proving zero loss and zero duplication through the resume protocol. The
+# whole serve package runs so the deadline/stall/disconnect regressions ride
+# along. CHAOS_SOAK=1 (the nightly knob) lengthens the soak.
+serve-chaos:
+	$(GO) test -race -count=1 ./internal/serve/
 
 # Hot-path microbenchmarks (ring push/batch, heap arity, partitioner,
 # native runtime throughput with and without the obs recorder). The root
@@ -103,4 +115,4 @@ serve-gate:
 serve-bench:
 	$(GO) run ./cmd/hdcps-bench -serve -label $$(git rev-parse --short HEAD) -o BENCH_serve.json
 
-ci: tier1 vet lint race chaos serve-smoke serve-gate
+ci: tier1 vet lint race chaos serve-chaos serve-smoke serve-gate

@@ -1,14 +1,21 @@
 // Command hdcps-load is the open-loop traffic driver for hdcps-serve: it
 // offers refresh tasks at a fixed arrival rate (Poisson, uniform, or bursty
 // schedules) regardless of how fast the server absorbs them, and reports
-// the latency quantiles plus the accept/backpressure/error accounting. Any
-// 5xx or transport error makes the exit status nonzero — saturation must
-// surface as 429/503 backpressure, never as a server failure.
+// the latency quantiles plus the accept/backpressure/error accounting.
+//
+// By default each batch is a resumable retrying stream: transport faults and
+// 429/503/408 answers are retried with capped exponential backoff plus full
+// jitter, honoring the server's Retry-After hints, and interrupted NDJSON
+// streams resume exactly-once via X-Stream-Id (no accepted task is ever
+// re-admitted). -strict disables all retries and makes any 5xx or transport
+// error exit nonzero — the CI gate's stance that saturation must surface as
+// 429/503 backpressure, never as a server failure.
 //
 // Usage:
 //
 //	hdcps-load -url http://127.0.0.1:8080 -rate 4000 -duration 5s
 //	hdcps-load -url http://$(cat /tmp/addr) -rate 20000 -arrivals bursty -hist hist.json
+//	hdcps-load -url http://$(cat /tmp/addr) -wait-ready 10s -strict -rate 2000
 package main
 
 import (
@@ -38,6 +45,10 @@ func main() {
 		seed     = flag.Int64("seed", 1, "arrival-schedule seed")
 		inflight = flag.Int("inflight", 128, "max concurrent submit requests (arrivals beyond are shed)")
 		histOut  = flag.String("hist", "", "write the latency histogram JSON here")
+		strict   = flag.Bool("strict", false, "no retries: any 5xx or transport error exits nonzero (the CI-gate stance)")
+		waitRdy  = flag.Duration("wait-ready", 0, "poll /readyz this long before driving load (0 skips the wait)")
+		retries  = flag.Int("retries", 8, "max attempts per stream in retrying mode")
+		backoff  = flag.Duration("backoff", 25*time.Millisecond, "base backoff between retries (capped exponential, full jitter)")
 	)
 	flag.Parse()
 	base := strings.TrimSuffix(*url, "/")
@@ -47,6 +58,11 @@ func main() {
 
 	ctx := context.Background()
 	cl := &serve.Client{Base: base, HC: &http.Client{Timeout: 30 * time.Second}}
+	if *waitRdy > 0 {
+		if err := cl.WaitReady(ctx, *waitRdy); err != nil {
+			fatal(err)
+		}
+	}
 	info, err := cl.Info(ctx)
 	if err != nil {
 		fatal(fmt.Errorf("fetching /v1/info: %w", err))
@@ -55,7 +71,16 @@ func main() {
 		base, info.Workload, info.Input, info.Nodes, info.Workers, info.Queue)
 
 	gen := serve.RefreshGen(info.Nodes, *seed)
-	res := load.Run(ctx, cl.Submitter(ctx, uint32(*jobID), gen), load.Options{
+	var retryStats serve.RetryStats
+	submitter := cl.Submitter(ctx, uint32(*jobID), gen)
+	if !*strict {
+		submitter = cl.RetrySubmitter(ctx, uint32(*jobID), gen, serve.RetryPolicy{
+			MaxAttempts: *retries,
+			BaseBackoff: *backoff,
+			Seed:        uint64(*seed),
+		}, &retryStats)
+	}
+	res := load.Run(ctx, submitter, load.Options{
 		Rate:        *rate,
 		Batch:       *batch,
 		Duration:    *duration,
@@ -75,6 +100,9 @@ func main() {
 		sum.P50Ms, sum.P90Ms, sum.P99Ms, sum.P999Ms, sum.MaxMs)
 	fmt.Printf("outcomes: %d ok, %d backpressure, %d server-error batches\n",
 		res.BatchesByOut[load.Accepted], res.BatchesByOut[load.Backpressure], res.BatchesByOut[load.ServerError])
+	if !*strict {
+		fmt.Printf("retrying: %s\n", retryStats.String())
+	}
 
 	if *histOut != "" {
 		buf, err := json.MarshalIndent(res.Hist, "", "  ")

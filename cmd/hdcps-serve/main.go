@@ -10,7 +10,8 @@
 //
 // Endpoints:
 //
-//	GET  /healthz                  200 ok / 503 draining
+//	GET  /healthz                  200 while the process lives (pure liveness)
+//	GET  /readyz                   200 ready / 503 draining or overloaded
 //	GET  /v1/info                  workload, input, node range, fleet shape
 //	GET  /v1/snapshot              full engine snapshot (ledger, quality)
 //	GET  /v1/jobs                  per-job ledger rows
@@ -26,6 +27,12 @@
 // cancelled job 409. SIGTERM/SIGINT trigger the graceful drain: stop
 // admitting, finish in-flight requests, drain the engine, and exit 0 only
 // if the conservation ledger proves no accepted task was lost.
+//
+// Fault injection (soak tooling): -netchaos wraps the listener with the
+// connection-level fault mix (latency, throttle, RST, short reads, partial
+// writes, stalls — see internal/netchaos), and -chaos wraps the engine
+// transport with the scheduler-level mix (see internal/chaos). Both print
+// their fault counters on exit, and the ledger proof must still pass.
 package main
 
 import (
@@ -39,6 +46,8 @@ import (
 	"syscall"
 	"time"
 
+	"hdcps/internal/chaos"
+	"hdcps/internal/netchaos"
 	"hdcps/internal/serve"
 )
 
@@ -57,23 +66,37 @@ func main() {
 		drainT   = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown engine drain budget")
 		obsOn    = flag.Bool("obs", true, "attach the observability recorder (served at /debug/obs)")
 		seedInit = flag.Bool("seed-initial", true, "submit the workload's initial tasks at startup")
+		stallT   = flag.Duration("submit-stall", 0, "slow-client stall guard for submit bodies (0 = 15s default, <0 disables)")
+		ncSpec   = flag.String("netchaos", "", "connection-fault mix, e.g. seed=7,rst=0.02,shortread=0.1 or 'default' (empty disables)")
+		ecSpec   = flag.String("chaos", "", "engine-transport fault mix, e.g. seed=7,delay=0.1,dup=0.02 or 'default' (empty disables)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "hdcps-serve: ", log.LstdFlags|log.Lmicroseconds)
 
+	var engineChaos *chaos.Config
+	if *ecSpec != "" {
+		ccfg, err := chaos.ParseSpec(*ecSpec)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		engineChaos = &ccfg
+	}
+
 	s, err := serve.New(serve.Config{
-		Workload:       *wl,
-		Input:          *input,
-		Scale:          *scale,
-		Seed:           *seed,
-		Workers:        *workers,
-		QueueKind:      *queue,
-		MaxOutstanding: *maxOut,
-		DefaultQuota:   *quota,
-		DrainTimeout:   *drainT,
-		Obs:            *obsOn,
-		SeedInitial:    *seedInit,
-		Log:            logger,
+		Workload:           *wl,
+		Input:              *input,
+		Scale:              *scale,
+		Seed:               *seed,
+		Workers:            *workers,
+		QueueKind:          *queue,
+		MaxOutstanding:     *maxOut,
+		DefaultQuota:       *quota,
+		DrainTimeout:       *drainT,
+		Obs:                *obsOn,
+		SeedInitial:        *seedInit,
+		SubmitStallTimeout: *stallT,
+		Chaos:              engineChaos,
+		Log:                logger,
 	})
 	if err != nil {
 		logger.Fatal(err)
@@ -82,6 +105,16 @@ func main() {
 	lis, err := net.Listen("tcp", *addr)
 	if err != nil {
 		logger.Fatal(err)
+	}
+	var ncLis *netchaos.Listener
+	if *ncSpec != "" {
+		nccfg, err := netchaos.ParseSpec(*ncSpec)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		ncLis = netchaos.Wrap(lis, nccfg)
+		lis = ncLis
+		logger.Printf("netchaos enabled: %s", nccfg.String())
 	}
 	bound := lis.Addr().String()
 	if *addrFile != "" {
@@ -111,6 +144,12 @@ func main() {
 	logger.Printf("ledger: accepted %d | submitted %d + spawned %d = processed %d + bagsRetired %d + quarantined %d + cancelled %d (outstanding %d)",
 		rep.Accepted, snap.Submitted, snap.Spawned, snap.TasksProcessed,
 		snap.BagsRetired, snap.Quarantined, snap.Cancelled, snap.Outstanding)
+	if ncLis != nil {
+		logger.Printf("netchaos: %s", ncLis.Stats())
+	}
+	if ct := s.ChaosTransport(); ct != nil {
+		logger.Printf("chaos: %s", ct.Stats())
+	}
 	if err != nil {
 		logger.Printf("graceful drain FAILED: %v", err)
 		os.Exit(1)

@@ -12,9 +12,11 @@ package obs
 //	{"type":"control","interval":3,"drift":41.5,"ref":12,"tdf":70}
 //
 // v2 extends v1 with the per-job ledger rows ("job" lines), two counters
-// (tasks_cancelled, quota_rejects), and the cancel/quota-reject event kinds;
-// every v1 line is still a valid v2 line, and ReadTrace (trace_read.go)
-// accepts both versions.
+// (tasks_cancelled, quota_rejects), and the cancel/quota-reject event kinds.
+// v3 extends v2 with the serving front-end's resilience counters
+// (serve_shed, serve_deadline_hits, serve_conn_aborts, serve_resumes) on the
+// counter lines. Every older line is still a valid newer line, and ReadTrace
+// (trace_read.go) accepts all versions.
 
 import (
 	"bufio"
@@ -26,10 +28,12 @@ import (
 	"time"
 )
 
-// TraceSchema identifies the JSONL trace layout. TraceSchemaV1 is the prior
-// layout (no job rows, no cancellation counters) that readers still accept.
+// TraceSchema identifies the JSONL trace layout. TraceSchemaV1 and
+// TraceSchemaV2 are prior layouts (v1: no job rows or cancellation counters;
+// v2: no serve resilience counters) that readers still accept.
 const (
-	TraceSchema   = "hdcps-obs/v2"
+	TraceSchema   = "hdcps-obs/v3"
+	TraceSchemaV2 = "hdcps-obs/v2"
 	TraceSchemaV1 = "hdcps-obs/v1"
 )
 

@@ -84,6 +84,14 @@ const (
 	CTasksCancelled // tasks discarded by job-scoped Cancel
 	CQuotaRejects   // tasks refused by per-job admission quotas
 
+	// Network-boundary resilience counters (PR 9): the serving front-end's
+	// shed / deadline / abort / resume decisions, recorded on the external
+	// row (they originate in HTTP handlers, not in any worker).
+	CServeShed         // submits/creates refused while draining or over the global limit
+	CServeDeadlineHits // requests cut by their propagated X-Request-Deadline-Ms
+	CServeConnAborts   // submit streams aborted mid-body (stall detector, client reset)
+	CServeResumes      // submit requests resuming an interrupted stream (offset > 0)
+
 	numCounters
 )
 
@@ -95,6 +103,7 @@ var counterNames = [numCounters]string{
 	"drift_clamped", "worker_restarts", "hot_spills", "queue_fallbacks",
 	"rank_samples", "prio_inversions", "rank_err_sum", "rank_err_max",
 	"tasks_cancelled", "quota_rejects",
+	"serve_shed", "serve_deadline_hits", "serve_conn_aborts", "serve_resumes",
 }
 
 // String returns the counter's snake_case export name.

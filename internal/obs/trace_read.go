@@ -45,13 +45,14 @@ type Trace struct {
 // traceSchemas lists every schema version ReadTrace accepts.
 var traceSchemas = map[string]bool{
 	TraceSchemaV1: true,
+	TraceSchemaV2: true,
 	TraceSchema:   true,
 }
 
 // ReadTrace decodes a JSONL trace written by WriteJSONL (plus the job and
-// control appendices). It accepts both hdcps-obs/v1 and hdcps-obs/v2 and
-// rejects unknown schemas; unknown line types and fields are skipped, which
-// is what lets v1 readers-of-v2 and v2 readers-of-v1 coexist.
+// control appendices). It accepts every schema from hdcps-obs/v1 through v3
+// and rejects unknown ones; unknown line types and fields are skipped, which
+// is what lets readers and writers of adjacent versions coexist.
 func ReadTrace(r io.Reader) (*Trace, error) {
 	tr := &Trace{}
 	sc := bufio.NewScanner(r)

@@ -1,0 +1,195 @@
+package serve
+
+// Network-boundary resilience: the pieces that let a submit stream survive a
+// flaky network without losing or duplicating accepted work.
+//
+// The contract is built on the admitted-prefix rule the error envelope
+// already carries: every submit response — success or failure — reports
+// exactly how many NDJSON lines of *this request* are durably admitted. A
+// retrying client resends only the unconfirmed suffix, tagged with a stream
+// identity and the count it believes is admitted. The tracker below closes
+// the one remaining hole: a response lost in flight *after* the server
+// admitted work. On retry the server compares the client's believed offset
+// against its own recorded absolute count for the stream and silently skips
+// the lines it already admitted — counting them in the response's accepted
+// total so the client's accounting converges — instead of re-submitting
+// them. Exactly-once admission, proven end to end by the netchaos soak:
+// client-side admitted totals, the server's accepted counter, and the
+// engine's conservation ledger must all agree at quiescence.
+
+import (
+	"context"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"hdcps/internal/obs"
+)
+
+// Resume-protocol headers. A client that wants exactly-once resubmission
+// sends HeaderStreamID (any non-empty token unique per logical stream and
+// job) and HeaderStreamOffset (how many lines of the stream it believes the
+// server has admitted). HeaderDeadlineMs bounds one request's server-side
+// processing; expiry returns 503 with the admitted prefix, so deadlines and
+// resume compose.
+const (
+	HeaderStreamID     = "X-Stream-Id"
+	HeaderStreamOffset = "X-Stream-Offset"
+	HeaderDeadlineMs   = "X-Request-Deadline-Ms"
+)
+
+// streamKey identifies one resumable stream: stream IDs are scoped per job,
+// so independent clients cannot collide across tenants.
+type streamKey struct {
+	job uint32
+	id  string
+}
+
+// streamTracker remembers, per stream, the absolute number of lines admitted
+// into the engine. Bounded: when the map reaches its cap the oldest streams
+// are evicted in insertion order. An evicted stream degrades gracefully — the
+// server simply trusts the client's offset, which is safe because the client
+// only advances its offset on responses it actually received; eviction can
+// only forget admissions whose responses were lost, the same exposure an
+// untracked server has on every request.
+type streamTracker struct {
+	mu       sync.Mutex
+	max      int
+	byKey    map[streamKey]int64
+	order    []streamKey // insertion order, for eviction
+	inflight map[streamKey]chan struct{}
+}
+
+func newStreamTracker(max int) *streamTracker {
+	if max <= 0 {
+		max = 4096
+	}
+	return &streamTracker{
+		max:      max,
+		byKey:    make(map[streamKey]int64, max/4),
+		inflight: make(map[streamKey]chan struct{}),
+	}
+}
+
+// acquire serializes attempts of one stream. Without it a fast retry could
+// race the prior attempt's handler, which may still be admitting lines
+// buffered from the dead connection: the retry would read a stale tracker
+// count and re-admit the overlap. Bounded wait — the prior handler is cut by
+// the stall detector or its own deadline — and false means ctx died first.
+func (t *streamTracker) acquire(ctx context.Context, k streamKey) bool {
+	for {
+		t.mu.Lock()
+		ch, busy := t.inflight[k]
+		if !busy {
+			t.inflight[k] = make(chan struct{})
+			t.mu.Unlock()
+			return true
+		}
+		t.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return false
+		case <-ch:
+		}
+	}
+}
+
+// release unblocks the stream's next waiting attempt.
+func (t *streamTracker) release(k streamKey) {
+	t.mu.Lock()
+	close(t.inflight[k])
+	delete(t.inflight, k)
+	t.mu.Unlock()
+}
+
+// admitted returns the absolute line count recorded for the stream (0 if
+// unknown — a fresh stream and an evicted one look the same by design).
+func (t *streamTracker) admitted(k streamKey) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.byKey[k]
+}
+
+// record stores the stream's new absolute admitted count. Counts only move
+// forward: a stale retry racing a newer one can never roll the record back.
+func (t *streamTracker) record(k streamKey, admitted int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if cur, ok := t.byKey[k]; ok {
+		if admitted > cur {
+			t.byKey[k] = admitted
+		}
+		return
+	}
+	for len(t.byKey) >= t.max && len(t.order) > 0 {
+		old := t.order[0]
+		t.order = t.order[1:]
+		delete(t.byKey, old)
+	}
+	t.byKey[k] = admitted
+	t.order = append(t.order, k)
+}
+
+// resilStats are the server's network-boundary decision counters, mirrored
+// onto the obs recorder's external row when one is attached (HTTP handlers
+// run outside the worker fleet).
+type resilStats struct {
+	shed         atomic.Int64 // submits/creates refused: draining or global overload
+	deadlineHits atomic.Int64 // requests cut by their propagated deadline
+	connAborts   atomic.Int64 // submit bodies that died mid-stream (stall, reset)
+	resumes      atomic.Int64 // submit requests that resumed a tracked stream
+}
+
+func (s *Server) countShed() {
+	s.resil.shed.Add(1)
+	if s.rec != nil {
+		s.rec.Add(obs.External, obs.CServeShed, 1)
+	}
+}
+
+func (s *Server) countDeadlineHit() {
+	s.resil.deadlineHits.Add(1)
+	if s.rec != nil {
+		s.rec.Add(obs.External, obs.CServeDeadlineHits, 1)
+	}
+}
+
+func (s *Server) countConnAbort() {
+	s.resil.connAborts.Add(1)
+	if s.rec != nil {
+		s.rec.Add(obs.External, obs.CServeConnAborts, 1)
+	}
+}
+
+func (s *Server) countResume() {
+	s.resil.resumes.Add(1)
+	if s.rec != nil {
+		s.rec.Add(obs.External, obs.CServeResumes, 1)
+	}
+}
+
+// parseDeadlineMs reads HeaderDeadlineMs; 0 means no deadline. Malformed or
+// non-positive values are treated as absent rather than rejected — a clock
+// header should never turn a valid submit into a 400.
+func parseDeadlineMs(v string) int64 {
+	if v == "" {
+		return 0
+	}
+	ms, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || ms <= 0 {
+		return 0
+	}
+	return ms
+}
+
+// parseStreamOffset reads HeaderStreamOffset; absent or malformed is 0.
+func parseStreamOffset(v string) int64 {
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}

@@ -1,0 +1,336 @@
+package serve
+
+// Tests for the network-boundary hardening: readiness vs liveness, the
+// exactly-once stream-resume protocol, deadline propagation, the slow-client
+// stall detector, an abrupt client disconnect mid-stream, and the retrying
+// client's backoff/resume loop against a scripted server.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hdcps/internal/chaos"
+)
+
+func TestReadyzAndHealthzSplit(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s on a live ready server: %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+// postStream posts NDJSON with the resume headers and decodes the response.
+func postStream(t *testing.T, url, streamID string, offset int64, body io.Reader) (*http.Response, errorBody, submitResult) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	req.Header.Set(HeaderStreamID, streamID)
+	req.Header.Set(HeaderStreamOffset, fmt.Sprint(offset))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var eb errorBody
+	var sr submitResult
+	if resp.StatusCode == http.StatusOK {
+		_ = json.Unmarshal(raw, &sr)
+	} else {
+		_ = json.Unmarshal(raw, &eb)
+	}
+	return resp, eb, sr
+}
+
+// TestStreamResumeSkipsAdmitted replays the lost-response scenario by hand:
+// the same request body re-sent with an unchanged offset must not re-admit
+// the lines the server already took, but must still confirm them.
+func TestStreamResumeSkipsAdmitted(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	url := ts.URL + "/v1/jobs/0/submit"
+	specs := []TaskSpec{{Node: 1}, {Node: 2}, {Node: 3}}
+
+	resp, _, sr := postStream(t, url, "resume-test", 0, ndjson(specs...))
+	if resp.StatusCode != http.StatusOK || sr.Accepted != 3 {
+		t.Fatalf("first attempt: status %d accepted %d, want 200/3", resp.StatusCode, sr.Accepted)
+	}
+	base := s.accepted.Load()
+
+	// The "response was lost" retry: identical body, identical offset. The
+	// tracker knows 3 lines are admitted; the server must confirm 3 without
+	// submitting anything new.
+	resp, _, sr = postStream(t, url, "resume-test", 0, ndjson(specs...))
+	if resp.StatusCode != http.StatusOK || sr.Accepted != 3 {
+		t.Fatalf("replay: status %d accepted %d, want 200/3", resp.StatusCode, sr.Accepted)
+	}
+	if got := s.accepted.Load(); got != base {
+		t.Fatalf("replay re-admitted work: server accepted %d -> %d", base, got)
+	}
+	if s.resil.resumes.Load() == 0 {
+		t.Fatal("replay did not count as a resume")
+	}
+
+	// The client advances and sends the genuine suffix.
+	resp, _, sr = postStream(t, url, "resume-test", 3, ndjson(TaskSpec{Node: 4}, TaskSpec{Node: 5}))
+	if resp.StatusCode != http.StatusOK || sr.Accepted != 2 {
+		t.Fatalf("suffix: status %d accepted %d, want 200/2", resp.StatusCode, sr.Accepted)
+	}
+	if got := s.accepted.Load(); got != base+2 {
+		t.Fatalf("suffix admitted %d new tasks, want 2", got-base)
+	}
+}
+
+// TestSubmitDeadlineCutsPrefix: a mid-stream deadline expiry returns 503
+// with the admitted prefix — retryable backpressure, not a dropped stream.
+func TestSubmitDeadlineCutsPrefix(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs/0/submit", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	req.Header.Set(HeaderDeadlineMs, "50")
+	go func() {
+		// One full flush quickly, then outlive the deadline, then force a
+		// second flush that must see the expired context.
+		_, _ = pw.Write(ndjson(make([]TaskSpec, submitFlush)...).Bytes())
+		time.Sleep(150 * time.Millisecond)
+		_, _ = pw.Write(ndjson(make([]TaskSpec, submitFlush)...).Bytes())
+		pw.Close()
+	}()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 on deadline expiry", resp.StatusCode)
+	}
+	var eb errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Accepted%submitFlush != 0 || eb.Accepted >= 2*submitFlush {
+		t.Fatalf("admitted prefix %d, want a flush multiple below %d", eb.Accepted, 2*submitFlush)
+	}
+	if s.resil.deadlineHits.Load() == 0 {
+		t.Fatal("deadline hit not counted")
+	}
+}
+
+// TestSubmitStallDetectorAborts: a client that stops sending mid-body is cut
+// with 408 + Connection: close, and the admitted prefix is reported.
+func TestSubmitStallDetectorAborts(t *testing.T) {
+	s, ts := newTestServer(t, func(c *Config) { c.SubmitStallTimeout = 100 * time.Millisecond })
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs/0/submit", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// submitFlush+44 lines: one flush lands, 44 sit in the scanner, then
+		// the body goes silent while the connection stays open.
+		_, _ = pw.Write(ndjson(make([]TaskSpec, submitFlush+44)...).Bytes())
+		<-done // hold the pipe open until the response arrives
+	}()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("expected a 408 response, got transport error %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestTimeout {
+		t.Fatalf("status %d, want 408 from the stall detector", resp.StatusCode)
+	}
+	var eb errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Accepted != submitFlush {
+		t.Fatalf("stall abort reported %d admitted, want the flushed prefix %d", eb.Accepted, submitFlush)
+	}
+	if s.resil.connAborts.Load() == 0 {
+		t.Fatal("stall abort not counted")
+	}
+	pw.Close()
+}
+
+// TestClientDisconnectMidStream kills a raw TCP connection partway through
+// an NDJSON stream, then proves the server accounted exactly the admitted
+// prefix: a resume of the same stream admits only the remainder, and the
+// ledger is exact at quiescence.
+func TestClientDisconnectMidStream(t *testing.T) {
+	s, ts := newTestServer(t, func(c *Config) { c.SubmitStallTimeout = 200 * time.Millisecond })
+	const total = 600
+
+	var body strings.Builder
+	for i := 0; i < total; i++ {
+		fmt.Fprintf(&body, `{"node":%d}`+"\n", i%100)
+	}
+	payload := body.String()
+	half := len(payload) / 2
+
+	addr := strings.TrimPrefix(ts.URL, "http://")
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chunked so the abort happens mid-body with no Content-Length promise.
+	fmt.Fprintf(conn, "POST /v1/jobs/0/submit HTTP/1.1\r\nHost: %s\r\n%s: disconnect-test\r\n%s: 0\r\nContent-Type: application/x-ndjson\r\nTransfer-Encoding: chunked\r\n\r\n",
+		addr, HeaderStreamID, HeaderStreamOffset)
+	fmt.Fprintf(conn, "%x\r\n%s\r\n", half, payload[:half])
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetLinger(0) // RST, not FIN: the body just vanishes
+	}
+	conn.Close()
+
+	// The handler dies on the reset (or the stall detector); the resume
+	// below serializes behind it via the stream tracker, so no extra sync is
+	// needed — just replay the full stream with offset 0.
+	resp, _, sr := postStream(t, ts.URL+"/v1/jobs/0/submit", "disconnect-test", 0, strings.NewReader(payload))
+	if resp.StatusCode != http.StatusOK || sr.Accepted != total {
+		t.Fatalf("resume: status %d accepted %d, want 200/%d", resp.StatusCode, sr.Accepted, total)
+	}
+
+	// Exactly-once: the seed task + exactly `total` admissions, never more,
+	// no matter how much of the half-stream the first handler consumed.
+	if got := s.accepted.Load(); got != total+1 {
+		t.Fatalf("server accepted %d tasks, want %d (exactly-once across the disconnect)", got-1, total)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.eng.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var ck chaos.Checker
+	if err := ck.Quiescent(s.eng.Snapshot()); err != nil {
+		t.Fatalf("ledger after disconnect: %v", err)
+	}
+	if sub := s.eng.Snapshot().Submitted; sub != total+1 {
+		t.Fatalf("ledger submitted %d, want %d", sub, total+1)
+	}
+}
+
+// TestRetryClientResumesAfterLostWork scripts the server side: attempt one
+// sheds mid-stream with an admitted prefix, attempt two must arrive with the
+// advanced offset and only then succeed.
+func TestRetryClientResumesAfterLostWork(t *testing.T) {
+	var attempts atomic.Int64
+	var gotOffset atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs/5/submit", func(w http.ResponseWriter, r *http.Request) {
+		n := attempts.Add(1)
+		lines := int64(0)
+		sc := bufio.NewScanner(r.Body)
+		for sc.Scan() {
+			if len(sc.Bytes()) > 0 {
+				lines++
+			}
+		}
+		switch n {
+		case 1:
+			w.Header().Set("Retry-After", "0")
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{
+				Error: "shed", Accepted: 7, RetryAfterMs: 1,
+			})
+		default:
+			gotOffset.Store(parseStreamOffset(r.Header.Get(HeaderStreamOffset)))
+			writeJSON(w, http.StatusOK, submitResult{Accepted: lines})
+		}
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	cl := &Client{Base: ts.URL}
+	var st RetryStats
+	specs := make([]TaskSpec, 20)
+	pol := RetryPolicy{MaxAttempts: 4, BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond, Seed: 7}
+	admitted, err := cl.SubmitStream(context.Background(), 5, specs, pol, &st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if admitted != 20 {
+		t.Fatalf("admitted %d, want 20", admitted)
+	}
+	if attempts.Load() != 2 {
+		t.Fatalf("attempts %d, want 2", attempts.Load())
+	}
+	if gotOffset.Load() != 7 {
+		t.Fatalf("retry carried offset %d, want the admitted prefix 7", gotOffset.Load())
+	}
+	if st.Retries.Load() != 1 || st.Resumes.Load() != 1 {
+		t.Fatalf("stats %s, want 1 retry / 1 resume", st.String())
+	}
+}
+
+// TestRetryClientTerminalAndExhaustion: terminal answers stop immediately;
+// persistent backpressure burns the attempt cap and reports exhaustion.
+func TestRetryClientTerminalAndExhaustion(t *testing.T) {
+	var status atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs/1/submit", func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		writeJSON(w, int(status.Load()), errorBody{Error: "scripted"})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	cl := &Client{Base: ts.URL}
+	pol := RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond, Seed: 3}
+
+	status.Store(http.StatusBadRequest)
+	var st RetryStats
+	if _, err := cl.SubmitStream(context.Background(), 1, make([]TaskSpec, 4), pol, &st); err == nil ||
+		errors.Is(err, ErrRetriesExhausted) {
+		t.Fatalf("400 should be terminal, got %v", err)
+	}
+	if st.Attempts.Load() != 1 {
+		t.Fatalf("terminal status retried: %s", st.String())
+	}
+
+	status.Store(http.StatusServiceUnavailable)
+	var st2 RetryStats
+	_, err := cl.SubmitStream(context.Background(), 1, make([]TaskSpec, 4), pol, &st2)
+	if !errors.Is(err, ErrRetriesExhausted) {
+		t.Fatalf("persistent 503 should exhaust retries, got %v", err)
+	}
+	if st2.Attempts.Load() != 3 {
+		t.Fatalf("attempts %d, want the MaxAttempts cap 3", st2.Attempts.Load())
+	}
+}
+
+// TestWaitReady: not ready while nothing listens, ready once the server is up.
+func TestWaitReady(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	cl := &Client{Base: ts.URL}
+	if err := cl.WaitReady(context.Background(), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	dead := &Client{Base: "http://127.0.0.1:1", HC: &http.Client{Timeout: 200 * time.Millisecond}}
+	if err := dead.WaitReady(context.Background(), 300*time.Millisecond); err == nil {
+		t.Fatal("WaitReady succeeded against nothing")
+	}
+}

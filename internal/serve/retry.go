@@ -1,0 +1,328 @@
+package serve
+
+// The resilient side of the client: SubmitStream retries one logical NDJSON
+// stream across transport faults and backpressure until every task is
+// admitted exactly once, the stream hits a terminal error, or the retry
+// policy runs out.
+//
+// The loop leans on two server contracts (resilience.go):
+//
+//   - Every response — success, shed, deadline cut, stall abort — reports the
+//     admitted prefix of the request, so the client resends only the
+//     unconfirmed suffix.
+//   - The stream tracker closes the lost-response hole: each attempt carries
+//     X-Stream-Id and X-Stream-Offset, and a server that already admitted
+//     more than the client knows skips the overlap instead of re-admitting
+//     it. A transport error therefore never forces a choice between
+//     possible loss and possible duplication — the retry reconciles.
+//
+// Backoff is capped exponential with full jitter, seeded so tests are
+// reproducible, and honors the server's Retry-After / retry_after_ms hints
+// as a floor. A per-stream attempt cap and cumulative backoff budget bound
+// how long one stream can stay in flight.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"hdcps/internal/load"
+)
+
+// RetryPolicy bounds one stream's retry loop. The zero value means
+// "defaults", not "no retries" — use MaxAttempts: 1 for a single shot.
+type RetryPolicy struct {
+	// MaxAttempts caps total attempts per stream (first try included).
+	// 0 defaults to 8.
+	MaxAttempts int
+	// BaseBackoff seeds the exponential backoff window (full jitter:
+	// sleep ~ hint + U[0, min(MaxBackoff, Base*2^n))). 0 defaults to 25ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the jitter window. 0 defaults to 2s.
+	MaxBackoff time.Duration
+	// Budget caps cumulative backoff sleep per stream; once spent, the next
+	// retryable failure is terminal. 0 defaults to 30s.
+	Budget time.Duration
+	// RequestTimeout bounds each attempt and is propagated to the server as
+	// X-Request-Deadline-Ms, so both sides give up together. 0 disables.
+	RequestTimeout time.Duration
+	// Seed drives the jitter RNG (reproducible backoff in tests). 0
+	// defaults to 1.
+	Seed uint64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 8
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 25 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 2 * time.Second
+	}
+	if p.Budget <= 0 {
+		p.Budget = 30 * time.Second
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// RetryStats aggregates the retry loop's decisions across streams (atomics:
+// share one across concurrent submitters and read it live).
+type RetryStats struct {
+	Attempts  atomic.Int64 // HTTP attempts, first tries included
+	Retries   atomic.Int64 // attempts beyond each stream's first
+	Resumes   atomic.Int64 // attempts that resumed a partially-admitted stream
+	GiveUps   atomic.Int64 // streams abandoned with work unadmitted
+	BackoffNs atomic.Int64 // cumulative backoff slept
+}
+
+func (s *RetryStats) String() string {
+	return fmt.Sprintf("attempts %d, retries %d, resumes %d, giveups %d, backoff %s",
+		s.Attempts.Load(), s.Retries.Load(), s.Resumes.Load(), s.GiveUps.Load(),
+		time.Duration(s.BackoffNs.Load()).Round(time.Millisecond))
+}
+
+// ErrRetriesExhausted marks a stream abandoned for a bounded-policy reason
+// (attempt cap or backoff budget) while its last failure was retryable. The
+// load adapter maps it to Backpressure: the work was shed, not broken.
+var ErrRetriesExhausted = errors.New("serve client: retries exhausted")
+
+// streamIDs must be unique per logical stream (a collision would make the
+// server skip another stream's lines): process-local sequence plus the
+// process start time.
+var (
+	streamSeq   atomic.Uint64
+	streamEpoch = time.Now().UnixNano()
+)
+
+func newStreamID() string {
+	return fmt.Sprintf("%x-%x", streamEpoch, streamSeq.Add(1))
+}
+
+// retryable reports whether an attempt outcome is worth another try:
+// transport errors (no response at all) and the server's explicit
+// backpressure/timeout answers.
+func retryable(status int, err error) bool {
+	if err != nil && status == 0 {
+		return true
+	}
+	switch status {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusRequestTimeout:
+		return true
+	}
+	return false
+}
+
+// submitResumable posts one attempt of a resumable stream: the unconfirmed
+// suffix, tagged with the stream identity and believed-admitted offset.
+// Returns the admitted count of this attempt, the status (0 on transport
+// error), and the server's retry hint if any.
+func (c *Client) submitResumable(ctx context.Context, jobID uint32, streamID string,
+	offset int64, specs []TaskSpec, reqTimeout time.Duration) (int64, int, time.Duration, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, sp := range specs {
+		if err := enc.Encode(sp); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	if reqTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, reqTimeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		fmt.Sprintf("%s/v1/jobs/%d/submit", c.Base, jobID), &buf)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	req.Header.Set(HeaderStreamID, streamID)
+	req.Header.Set(HeaderStreamOffset, strconv.FormatInt(offset, 10))
+	if reqTimeout > 0 {
+		req.Header.Set(HeaderDeadlineMs, strconv.FormatInt(reqTimeout.Milliseconds(), 10))
+	}
+	resp, err := c.hc().Do(req)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer resp.Body.Close()
+	hint := retryHint(resp.Header)
+	if resp.StatusCode == http.StatusOK {
+		var res submitResult
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			// The admissions landed but the response died mid-body: the next
+			// attempt reconciles through the stream tracker.
+			return 0, 0, hint, err
+		}
+		return res.Accepted, resp.StatusCode, hint, nil
+	}
+	var eb errorBody
+	_ = json.NewDecoder(io.LimitReader(resp.Body, 64*1024)).Decode(&eb)
+	if ms := time.Duration(eb.RetryAfterMs) * time.Millisecond; ms > hint {
+		hint = ms
+	}
+	return eb.Accepted, resp.StatusCode, hint, nil
+}
+
+// retryHint parses a Retry-After header (delay-seconds form only).
+func retryHint(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	sec, err := strconv.Atoi(v)
+	if err != nil || sec < 0 {
+		return 0
+	}
+	return time.Duration(sec) * time.Second
+}
+
+// SubmitStream submits specs as one exactly-once resumable stream, retrying
+// per pol until everything is admitted or the stream dies. It returns how
+// many tasks were durably admitted — on error, the admitted prefix is still
+// accurate, proven by the netchaos soak's three-way ledger agreement.
+func (c *Client) SubmitStream(ctx context.Context, jobID uint32, specs []TaskSpec,
+	pol RetryPolicy, st *RetryStats) (int64, error) {
+	return c.submitStreamID(ctx, jobID, newStreamID(), specs, pol, st)
+}
+
+func (c *Client) submitStreamID(ctx context.Context, jobID uint32, streamID string,
+	specs []TaskSpec, pol RetryPolicy, st *RetryStats) (int64, error) {
+	pol = pol.withDefaults()
+	rng := rand.New(rand.NewSource(int64(pol.Seed ^ streamSeq.Add(1))))
+	var (
+		admitted   int64
+		budgetLeft = pol.Budget
+		lastStatus int
+		lastErr    error
+	)
+	total := int64(len(specs))
+	for attempt := 1; ; attempt++ {
+		if st != nil {
+			st.Attempts.Add(1)
+			if attempt > 1 {
+				st.Retries.Add(1)
+			}
+			if admitted > 0 {
+				st.Resumes.Add(1)
+			}
+		}
+		acc, status, hint, err := c.submitResumable(ctx, jobID, streamID, admitted, specs[admitted:], pol.RequestTimeout)
+		admitted += acc
+		if status == http.StatusOK && err == nil && admitted >= total {
+			return admitted, nil
+		}
+		lastStatus, lastErr = status, err
+		if err == nil {
+			lastErr = fmt.Errorf("status %d", status)
+		}
+		if err != nil && status == 0 && ctx.Err() != nil {
+			// The caller's context died, not the attempt's: stop retrying.
+			if st != nil {
+				st.GiveUps.Add(1)
+			}
+			return admitted, fmt.Errorf("serve client: stream %s: %w", streamID, ctx.Err())
+		}
+		if !retryable(status, err) {
+			if st != nil {
+				st.GiveUps.Add(1)
+			}
+			return admitted, fmt.Errorf("serve client: stream %s: terminal after %d attempts: %w", streamID, attempt, lastErr)
+		}
+		if attempt >= pol.MaxAttempts {
+			break
+		}
+		// Full-jitter capped exponential window, floored at the server hint.
+		window := pol.BaseBackoff << min(attempt-1, 20)
+		if window > pol.MaxBackoff || window <= 0 {
+			window = pol.MaxBackoff
+		}
+		sleep := hint + time.Duration(rng.Int63n(int64(window)+1))
+		if sleep > budgetLeft {
+			break
+		}
+		budgetLeft -= sleep
+		if st != nil {
+			st.BackoffNs.Add(int64(sleep))
+		}
+		timer := time.NewTimer(sleep)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			if st != nil {
+				st.GiveUps.Add(1)
+			}
+			return admitted, fmt.Errorf("serve client: stream %s: %w", streamID, ctx.Err())
+		case <-timer.C:
+		}
+	}
+	if st != nil {
+		st.GiveUps.Add(1)
+	}
+	return admitted, fmt.Errorf("%w: stream %s: %d/%d admitted, last status %d: %v",
+		ErrRetriesExhausted, streamID, admitted, total, lastStatus, lastErr)
+}
+
+// RetrySubmitter adapts SubmitStream to the open-loop harness. A stream
+// that exhausts its retry policy on backpressure counts as shed
+// (Backpressure), matching the harness's view that refused work under
+// overload is expected; only terminal server answers become ServerError.
+// gen must be safe for concurrent use; st may be nil.
+func (c *Client) RetrySubmitter(ctx context.Context, jobID uint32, gen func(n int) []TaskSpec,
+	pol RetryPolicy, st *RetryStats) load.Submitter {
+	return func(n int) (int, load.Outcome, error) {
+		acc, err := c.SubmitStream(ctx, jobID, gen(n), pol, st)
+		switch {
+		case err == nil:
+			return int(acc), load.Accepted, nil
+		case errors.Is(err, ErrRetriesExhausted):
+			return int(acc), load.Backpressure, nil
+		default:
+			return int(acc), load.ServerError, err
+		}
+	}
+}
+
+// WaitReady polls /readyz until the server reports ready, ctx expires, or
+// the deadline passes. Transport errors are retried (the server may still
+// be binding its listener) — the smoke scripts' startup gate.
+func (c *Client) WaitReady(ctx context.Context, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	var lastErr error
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/readyz", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.hc().Do(req)
+		if err == nil {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			lastErr = fmt.Errorf("readyz: %s", resp.Status)
+		} else {
+			lastErr = err
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("serve client: server not ready: %w (last: %v)", ctx.Err(), lastErr)
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}

@@ -15,6 +15,13 @@
 //     quarantined, or cancelled — never lost) before stopping the fleet.
 //   - The ops plane (expvar, pprof, the obs recorder's live snapshot) hangs
 //     off the same mux, so one port serves both traffic and diagnostics.
+//   - The network boundary is hostile: header reads and idle connections are
+//     bounded (slowloris guard), a submit body that stops making progress is
+//     cut by a stall detector, per-request deadlines propagate into the
+//     admission loop, and an interrupted NDJSON stream resumes exactly-once
+//     via the admitted-prefix protocol in resilience.go. Liveness (/healthz)
+//     and readiness (/readyz) are split so a draining instance is taken out
+//     of rotation without being killed mid-drain.
 package serve
 
 import (
@@ -28,6 +35,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -73,6 +81,34 @@ type Config struct {
 	// SeedInitial submits the workload's InitialTasks at startup, so the
 	// algorithm state converges before external traffic lands.
 	SeedInitial bool
+	// Chaos, when non-nil, wraps the engine's transport with the seeded
+	// engine-layer fault mix (delay, duplication, reorder, ring-full, stall)
+	// so the serving path can be soaked against scheduler faults together
+	// with the connection-layer faults netchaos injects. Duplicated tasks
+	// re-enter through Submit and are ledger-counted; Shutdown's
+	// accepted==Submitted proof accounts for them via the transport's
+	// duplicate counter.
+	Chaos *chaos.Config
+	// ReadHeaderTimeout bounds request-header reads (the slowloris guard).
+	// 0 defaults to 5s; negative disables.
+	ReadHeaderTimeout time.Duration
+	// IdleTimeout bounds keep-alive idleness. 0 defaults to 2m; negative
+	// disables.
+	IdleTimeout time.Duration
+	// ReadTimeout and WriteTimeout bound a whole request read / response
+	// write. Disabled by default (0): submit bodies are open-ended streams
+	// and drains legitimately block for their full timeout — the stall
+	// detector and per-request deadlines bound those paths instead.
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	// SubmitStallTimeout is the slow-client guard: a submit body that makes
+	// no progress for this long is aborted with 408 reporting the admitted
+	// prefix (a recovered client resumes the stream). 0 defaults to 15s;
+	// negative disables.
+	SubmitStallTimeout time.Duration
+	// StreamCacheSize caps the exactly-once stream-resume tracker; the
+	// oldest streams are evicted first. 0 defaults to 4096.
+	StreamCacheSize int
 	// Log receives lifecycle lines (nil: standard logger).
 	Log *log.Logger
 }
@@ -95,6 +131,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 30 * time.Second
+	}
+	if c.ReadHeaderTimeout == 0 {
+		c.ReadHeaderTimeout = 5 * time.Second
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 2 * time.Minute
+	}
+	if c.SubmitStallTimeout == 0 {
+		c.SubmitStallTimeout = 15 * time.Second
+	}
+	if c.StreamCacheSize <= 0 {
+		c.StreamCacheSize = 4096
 	}
 	if c.Log == nil {
 		c.Log = log.Default()
@@ -151,6 +199,13 @@ type Server struct {
 	accepted atomic.Int64
 	draining atomic.Bool
 
+	// Network-boundary resilience state (resilience.go): the exactly-once
+	// stream tracker, the shed/deadline/abort/resume counters, and the
+	// engine-layer fault transport when Config.Chaos is set.
+	streams *streamTracker
+	resil   resilStats
+	chaosT  *chaos.Transport
+
 	hsMu sync.Mutex
 	hs   *http.Server
 
@@ -181,7 +236,18 @@ func New(cfg Config) (*Server, error) {
 		rec = obs.New(obs.Config{Workers: workers})
 		rcfg.Obs = rec
 	}
+	var ct *chaos.Transport
+	if cfg.Chaos != nil {
+		ccfg := *cfg.Chaos
+		rcfg.NewTransport = func(fc runtime.Config) runtime.Transport {
+			ct = chaos.Wrap(runtime.NewDefaultTransport(fc), fc.Workers, ccfg)
+			return ct
+		}
+	}
 	eng := runtime.NewEngine(wl, rcfg)
+	if ct != nil {
+		ct.BindResubmit(func(ts ...task.Task) error { return eng.Submit(ts...) })
+	}
 	s := &Server{
 		cfg:     cfg,
 		eng:     eng,
@@ -189,6 +255,8 @@ func New(cfg Config) (*Server, error) {
 		wl:      wl,
 		rec:     rec,
 		jobs:    map[task.JobID]*runtime.Job{0: eng.DefaultJob()},
+		streams: newStreamTracker(cfg.StreamCacheSize),
+		chaosT:  ct,
 		started: time.Now(),
 	}
 	if cfg.SeedInitial {
@@ -209,12 +277,18 @@ func New(cfg Config) (*Server, error) {
 // probes without a network round-trip).
 func (s *Server) Engine() *runtime.Engine { return s.eng }
 
-// Handler returns the full mux: the /v1 API, /healthz, and the ops plane.
+// ChaosTransport returns the engine-layer fault transport, or nil when
+// Config.Chaos is unset (the CLI prints its fault counters at exit).
+func (s *Server) ChaosTransport() *chaos.Transport { return s.chaosT }
+
+// Handler returns the full mux: the /v1 API, /healthz + /readyz, and the
+// ops plane.
 func (s *Server) Handler() http.Handler { return s.mux }
 
 func (s *Server) buildMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /v1/info", s.handleInfo)
 	mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
@@ -307,12 +381,28 @@ func shedErr(w http.ResponseWriter, msg string, accepted int64) {
 	})
 }
 
+// handleHealth is pure liveness: the process is up and able to answer. It
+// stays 200 while draining — a draining server is alive, just not ready —
+// so an orchestrator keeps it running through graceful shutdown instead of
+// killing it mid-drain.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "uptime_s": time.Since(s.started).Seconds()})
+}
+
+// handleReady is readiness: whether this instance should receive new work.
+// 503 with a Retry-After hint while draining or while the global overload
+// shed would refuse a submit; 200 otherwise. Probe refusals are not counted
+// as sheds — no offered work was turned away.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		shedErr(w, "draining", 0)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "uptime_s": time.Since(s.started).Seconds()})
+	if max := s.cfg.MaxOutstanding; max > 0 && s.eng.Outstanding() > max {
+		shedErr(w, "overloaded", 0)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "uptime_s": time.Since(s.started).Seconds()})
 }
 
 // Info is the /v1/info document: what the server runs and how big the node
@@ -329,6 +419,12 @@ type Info struct {
 	Draining    bool   `json:"draining"`
 	Accepted    int64  `json:"accepted"`
 	Outstanding int64  `json:"outstanding"`
+
+	// Resilience counters: the network boundary's decision log.
+	Shed         int64 `json:"shed"`
+	DeadlineHits int64 `json:"deadline_hits"`
+	ConnAborts   int64 `json:"conn_aborts"`
+	Resumes      int64 `json:"resumes"`
 }
 
 func (s *Server) info() Info {
@@ -355,6 +451,11 @@ func (s *Server) info() Info {
 		Draining:    s.draining.Load(),
 		Accepted:    s.accepted.Load(),
 		Outstanding: s.eng.Outstanding(),
+
+		Shed:         s.resil.shed.Load(),
+		DeadlineHits: s.resil.deadlineHits.Load(),
+		ConnAborts:   s.resil.connAborts.Load(),
+		Resumes:      s.resil.resumes.Load(),
 	}
 }
 
@@ -381,6 +482,7 @@ type JobSpec struct {
 
 func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
+		s.countShed()
 		shedErr(w, "draining", 0)
 		return
 	}
@@ -446,18 +548,95 @@ type submitResult struct {
 // handleSubmit streams NDJSON task lines into the job, flushing every
 // submitFlush lines as one Engine submit. The draining flag and the global
 // shed are re-checked at every flush, so a long stream cannot outlive a
-// Shutdown's admission cutoff or bury an overloaded engine.
+// Shutdown's admission cutoff or bury an overloaded engine. Three hardening
+// layers wrap the loop (resilience.go documents the protocol):
+//
+//   - X-Request-Deadline-Ms propagates into the flush loop as a context
+//     deadline; expiry returns 503 with the admitted prefix, so a deadline
+//     cut is just another retryable backpressure signal.
+//   - A stall detector arms a connection read deadline and re-arms it after
+//     every flush; a body that stops making progress is cut with 408 and
+//     Connection: close rather than pinning a handler goroutine forever.
+//   - X-Stream-Id/X-Stream-Offset resume an interrupted stream exactly-once:
+//     lines the tracker knows were admitted on a prior attempt are skipped,
+//     not re-submitted, but still counted in the response's accepted total
+//     so the client's accounting converges.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	job := s.jobFor(w, r)
 	if job == nil {
 		return
 	}
+
+	ctx := r.Context()
+	hasDeadline := false
+	if ms := parseDeadlineMs(r.Header.Get(HeaderDeadlineMs)); ms > 0 {
+		hasDeadline = true
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+		defer cancel()
+	}
+
+	// Stall detector: a read deadline armed now and re-armed per flush,
+	// capped by the request deadline so an expired request cannot hold the
+	// connection for a full stall window. Not every ResponseWriter supports
+	// read deadlines (httptest recorders do not) — then the detector is off.
+	armStall := func() {}
+	if d := s.cfg.SubmitStallTimeout; d > 0 {
+		rc := http.NewResponseController(w)
+		arm := func() error {
+			dl := time.Now().Add(d)
+			if cd, ok := ctx.Deadline(); ok && cd.Before(dl) {
+				dl = cd
+			}
+			return rc.SetReadDeadline(dl)
+		}
+		if arm() == nil {
+			armStall = func() { _ = arm() }
+		}
+	}
+
+	// Stream-resume state: skip counts leading lines of this request that a
+	// prior attempt already admitted (its response was lost in flight).
+	var (
+		key     streamKey
+		tracked bool
+		offset  int64
+		skip    int64
+	)
+	if id := r.Header.Get(HeaderStreamID); id != "" {
+		key = streamKey{job: uint32(job.ID()), id: id}
+		tracked = true
+		// Serialize attempts of the same stream: a retry racing its
+		// predecessor's still-draining handler would read a stale admitted
+		// count and duplicate the overlap.
+		if !s.streams.acquire(ctx, key) {
+			s.submitFailure(w, errDeadline, 0)
+			return
+		}
+		defer s.streams.release(key)
+		offset = parseStreamOffset(r.Header.Get(HeaderStreamOffset))
+		if prior := s.streams.admitted(key); prior > offset {
+			skip = prior - offset
+		}
+		if offset > 0 || skip > 0 {
+			s.countResume()
+		}
+	}
+
 	nodes := uint32(s.g.NumNodes())
-	var accepted int64
+	var accepted int64 // lines of this request admitted (resumed skips included)
 	batch := make([]task.Task, 0, submitFlush)
 	flush := func() error {
 		if len(batch) == 0 {
 			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			if hasDeadline && errors.Is(err, context.DeadlineExceeded) {
+				return errDeadline
+			}
+			// r.Context() died: the client went away mid-stream. Nothing
+			// readable will be written back, but stop admitting its work.
+			return errAborted
 		}
 		if s.draining.Load() {
 			return errDraining
@@ -471,7 +650,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		n := int64(len(batch))
 		accepted += n
 		s.accepted.Add(n)
+		if tracked {
+			s.streams.record(key, offset+accepted)
+		}
 		batch = batch[:0]
+		armStall()
 		return nil
 	}
 	sc := bufio.NewScanner(r.Body)
@@ -483,6 +666,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		line++
+		if int64(line) <= skip {
+			// Already admitted by a prior attempt: confirm, don't re-submit.
+			accepted++
+			continue
+		}
 		var spec TaskSpec
 		if err := json.Unmarshal(raw, &spec); err != nil {
 			writeJSON(w, http.StatusBadRequest, errorBody{
@@ -507,7 +695,24 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "reading body: " + err.Error(), Accepted: accepted})
+		s.countConnAbort()
+		switch {
+		case errors.Is(err, os.ErrDeadlineExceeded) && hasDeadline && ctx.Err() != nil:
+			// The read deadline that fired was the request deadline, not a
+			// stalled client: report it as retryable backpressure.
+			s.submitFailure(w, errDeadline, accepted)
+		case errors.Is(err, os.ErrDeadlineExceeded):
+			// The body stopped making progress. The connection is poisoned
+			// past its read deadline, so close it — but report the admitted
+			// prefix so a recovered client can resume the stream.
+			w.Header().Set("Connection", "close")
+			writeJSON(w, http.StatusRequestTimeout, errorBody{
+				Error:    "submit body stalled: " + err.Error(),
+				Accepted: accepted,
+			})
+		default:
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "reading body: " + err.Error(), Accepted: accepted})
+		}
 		return
 	}
 	if err := flush(); err != nil {
@@ -520,14 +725,25 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 var (
 	errDraining = errors.New("serve: draining, not admitting work")
 	errOverload = errors.New("serve: engine over global outstanding limit")
+	errDeadline = errors.New("serve: request deadline exceeded")
+	errAborted  = errors.New("serve: client went away mid-stream")
 )
 
 func (s *Server) submitFailure(w http.ResponseWriter, err error, accepted int64) {
-	if errors.Is(err, errDraining) || errors.Is(err, errOverload) {
+	switch {
+	case errors.Is(err, errDraining) || errors.Is(err, errOverload):
+		s.countShed()
 		shedErr(w, err.Error(), accepted)
-		return
+	case errors.Is(err, errDeadline):
+		s.countDeadlineHit()
+		shedErr(w, err.Error(), accepted)
+	case errors.Is(err, errAborted):
+		// The peer is gone; the status is for the log, not the wire.
+		s.countConnAbort()
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Accepted: accepted})
+	default:
+		writeSubmitErr(w, err, accepted)
 	}
-	writeSubmitErr(w, err, accepted)
 }
 
 // handleDrain blocks until the job is quiescent or ?timeout= (default the
@@ -569,9 +785,28 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, job.Snapshot())
 }
 
-// Serve runs the HTTP server on lis until Shutdown.
+// timeoutOrOff maps the config convention (negative: disabled) onto
+// http.Server's (zero: disabled).
+func timeoutOrOff(d time.Duration) time.Duration {
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// Serve runs the HTTP server on lis until Shutdown. The server's own
+// timeouts bound the connection phases a malicious or broken peer controls:
+// header reads (slowloris) and keep-alive idleness. Whole-request timeouts
+// stay off by default — submit streams and drains are legitimately long —
+// and the stall detector in handleSubmit covers the body phase instead.
 func (s *Server) Serve(lis net.Listener) error {
-	hs := &http.Server{Handler: s.mux}
+	hs := &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: timeoutOrOff(s.cfg.ReadHeaderTimeout),
+		IdleTimeout:       timeoutOrOff(s.cfg.IdleTimeout),
+		ReadTimeout:       timeoutOrOff(s.cfg.ReadTimeout),
+		WriteTimeout:      timeoutOrOff(s.cfg.WriteTimeout),
+	}
 	s.hsMu.Lock()
 	s.hs = hs
 	s.hsMu.Unlock()
@@ -619,9 +854,15 @@ func (s *Server) Shutdown(ctx context.Context) (ShutdownReport, error) {
 	if err := ck.Quiescent(snap); err != nil {
 		return rep, fmt.Errorf("serve: ledger: %w", err)
 	}
-	if snap.Submitted != rep.Accepted {
-		return rep, fmt.Errorf("serve: accepted-task loss: server accepted %d, engine ledger submitted %d",
-			rep.Accepted, snap.Submitted)
+	wantSubmitted := rep.Accepted
+	if s.chaosT != nil {
+		// Engine-layer chaos duplicates re-enter through Submit — ledger-
+		// counted submissions that never crossed the HTTP accept path.
+		wantSubmitted += s.chaosT.Stats().Duplicates.Load()
+	}
+	if snap.Submitted != wantSubmitted {
+		return rep, fmt.Errorf("serve: accepted-task loss: server accepted %d (%d with chaos duplicates), engine ledger submitted %d",
+			rep.Accepted, wantSubmitted, snap.Submitted)
 	}
 	rep.LedgerExact = true
 	if err := s.eng.Stop(ctx); err != nil {

@@ -114,14 +114,23 @@ func TestSubmitWhileDrainingIs503(t *testing.T) {
 	if resp.Header.Get("Retry-After") == "" {
 		t.Fatal("503 must carry a Retry-After header")
 	}
-	// Healthz flips with the same flag.
+	// Readiness flips with the same flag; liveness must not — a draining
+	// server is alive, just out of rotation.
+	rdy, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdy.Body.Close()
+	if rdy.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining readyz status %d, want 503", rdy.StatusCode)
+	}
 	h, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	h.Body.Close()
-	if h.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("draining healthz status %d, want 503", h.StatusCode)
+	if h.StatusCode != http.StatusOK {
+		t.Fatalf("draining healthz status %d, want 200 (pure liveness)", h.StatusCode)
 	}
 }
 

@@ -5,9 +5,12 @@
 # conservation ledger be the verdict. hdcps-serve exits nonzero unless the
 # graceful drain proves that every accepted task was processed (submitted +
 # spawned == processed + retired + quarantined + cancelled, outstanding 0),
-# and hdcps-load exits nonzero on any 5xx or transport error — so this
-# script passing means: the binaries build, the API serves real traffic,
-# backpressure never turns into server failure, and shutdown loses nothing.
+# and hdcps-load runs -strict (no retries; any 5xx or transport error exits
+# nonzero) — so this script passing means: the binaries build, the API
+# serves real traffic, backpressure never turns into server failure, and
+# shutdown loses nothing. Readiness is gated on GET /readyz (via
+# hdcps-load -wait-ready), not on liveness: the server answers /healthz the
+# moment the process is up, but only reports ready once it will admit work.
 #
 # Env knobs (defaults are the CI shape):
 #   SMOKE_DIR         artifact/work directory   (/tmp/hdcps-serve-smoke)
@@ -52,11 +55,12 @@ for _ in $(seq 1 100); do
     sleep 0.1
 done
 ADDR="$(cat "$SMOKE_DIR/addr")"
-echo "serve-smoke: server up at $ADDR (pid $SERVE_PID)"
+echo "serve-smoke: server up at $ADDR (pid $SERVE_PID), waiting on /readyz"
 
 LOAD_RC=0
 "$SMOKE_DIR/hdcps-load" \
-    -url "http://$ADDR" -rate "$RATE" -duration "$DUR" \
+    -url "http://$ADDR" -wait-ready 10s -strict \
+    -rate "$RATE" -duration "$DUR" \
     -arrivals poisson -hist "$SMOKE_DIR/hist.json" \
     2>&1 | tee "$SMOKE_DIR/load.txt" || LOAD_RC=$?
 
