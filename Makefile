@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build tier1 vet lint race chaos serve-chaos bench bench-smoke bench-gate bench-native serve-smoke serve-gate serve-bench ci
+.PHONY: all build tier1 vet lint race chaos serve-chaos bench bench-smoke bench-gate bench-native serve-smoke serve-gate serve-bench fuzz-smoke ci
 
 all: ci
 
@@ -68,6 +68,7 @@ serve-chaos:
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkRingPush|BenchmarkHeapPushPop|BenchmarkPartition|BenchmarkNativeRuntime|BenchmarkQueueDist' \
 		-benchmem . ./internal/rq/ ./internal/pq/ ./internal/bag/ ./internal/runtime/
+	$(GO) test -run '^$$' -bench 'BenchmarkSubmitIngest' -benchmem ./internal/serve/
 
 # Bench smoke: prove every benchmark still runs and the native bench
 # harness still emits a report — a fixed tiny iteration count, not a
@@ -78,6 +79,7 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkRingPush|BenchmarkHeapPushPop|BenchmarkPartition|BenchmarkNativeRuntime|BenchmarkQueueDist' \
 		-benchtime 100x -benchmem . ./internal/rq/ ./internal/pq/ ./internal/bag/ ./internal/runtime/
+	$(GO) test -run '^$$' -bench 'BenchmarkSubmitIngest' -benchtime 100x -benchmem ./internal/serve/
 	$(GO) run ./cmd/hdcps-bench -native -label smoke -scale tiny -reps 2 -o -
 	$(GO) run ./cmd/hdcps-bench -exp fairness-sweep -scale tiny
 
@@ -115,4 +117,11 @@ serve-gate:
 serve-bench:
 	$(GO) run ./cmd/hdcps-bench -serve -label $$(git rev-parse --short HEAD) -o BENCH_serve.json
 
-ci: tier1 vet lint race chaos serve-chaos serve-smoke serve-gate
+# Fuzz smoke: a short differential fuzz of the zero-alloc TaskSpec parser
+# against encoding/json — any divergence in accept/reject decision, decoded
+# fields, or fallback error text is a crash. CI runs this on every push;
+# longer local runs: go test -fuzz FuzzTaskSpecParser ./internal/serve/
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz 'FuzzTaskSpecParser' -fuzztime 20s ./internal/serve/
+
+ci: tier1 vet lint race chaos serve-chaos serve-smoke serve-gate fuzz-smoke

@@ -22,11 +22,44 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"hdcps/internal/exp"
 )
+
+// startCPUProfile begins profiling into path ("" is a no-op) and returns the
+// stop function; profile errors are fatal since the caller asked for data.
+func startCPUProfile(path string) func() {
+	if path == "" {
+		return func() {}
+	}
+	f, err := os.Create(path)
+	if err == nil {
+		err = pprof.StartCPUProfile(f)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hdcps-bench: cpuprofile: %v\n", err)
+		os.Exit(1)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}
+}
+
+func writeHeapProfile(path string) {
+	f, err := os.Create(path)
+	if err == nil {
+		err = pprof.Lookup("allocs").WriteTo(f, 0)
+		f.Close()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hdcps-bench: memprofile: %v\n", err)
+		os.Exit(1)
+	}
+}
 
 func main() {
 	var (
@@ -49,6 +82,9 @@ func main() {
 		tol     = flag.Float64("tol", 0.25, "fractional collapse tolerance for -check: fail below (1-tol) of baseline")
 		probeD  = flag.Duration("probe-dur", 400*time.Millisecond, "per-probe duration for the -serve knee search")
 		fixedD  = flag.Duration("fixed-dur", 0, "fixed-rate latency run duration for -serve (0: 2x probe-dur)")
+		streams = flag.Int("streams", 0, "persistent-stream fan-out for -serve probes (0: 4, negative: legacy one POST per batch)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the -serve sweep here")
+		memProf = flag.String("memprofile", "", "write a heap profile after the -serve sweep here")
 	)
 	flag.Parse()
 
@@ -56,7 +92,14 @@ func main() {
 		if *out == "" {
 			*out = "BENCH_serve.json"
 		}
-		run, err := runServeBench(*label, *scale, *out, *workers, *seed, *probeD, *fixedD)
+		stopProf := startCPUProfile(*cpuProf)
+		run, err := runServeBench(*label, *scale, *out, *workers, *streams, *seed, *probeD, *fixedD)
+		// Profiles are written before the exit-code decision so a failed run
+		// (the case worth profiling) still leaves its artifacts behind.
+		stopProf()
+		if *memProf != "" {
+			writeHeapProfile(*memProf)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hdcps-bench: serve bench failed: %v\n", err)
 			os.Exit(1)

@@ -14,13 +14,23 @@ import (
 	"os"
 	stdruntime "runtime"
 	"strings"
+	"testing"
 	"time"
 
 	"hdcps/internal/serve"
 )
 
-// serveBenchSchema versions BENCH_serve.json.
-const serveBenchSchema = "hdcps-serve-bench/v1"
+// serveBenchSchema versions BENCH_serve.json. v2 added streams,
+// ingest_allocs_per_line, and encode_allocs_per_line; v1 documents are still
+// readable (old runs merge and gate with those fields zero).
+const (
+	serveBenchSchema   = "hdcps-serve-bench/v2"
+	serveBenchSchemaV1 = "hdcps-serve-bench/v1"
+)
+
+func serveSchemaOK(s string) bool {
+	return s == serveBenchSchema || s == serveBenchSchemaV1
+}
 
 // ServeBenchDoc is the top-level BENCH_serve.json document; runs accumulate
 // by label exactly like BENCH_native.json's.
@@ -44,10 +54,47 @@ type ServeBenchRun struct {
 	Batch      int                  `json:"batch"`
 	ProbeMs    int64                `json:"probe_ms"`
 	FixedMs    int64                `json:"fixed_ms"`
+	Streams    int                  `json:"streams,omitempty"`
 	Sweeps     []serve.SweepMeasure `json:"sweeps"`
+	// IngestAllocsPerLine / EncodeAllocsPerLine are heap allocations per
+	// NDJSON line on the server's parse loop and the client's encode loop,
+	// measured engine-free with testing.Benchmark. The serve gate fails any
+	// fresh run whose ingest figure exceeds 2 regardless of -tol.
+	IngestAllocsPerLine float64 `json:"ingest_allocs_per_line"`
+	EncodeAllocsPerLine float64 `json:"encode_allocs_per_line"`
 }
 
-func runServeBench(label, scale, out string, workers int, seed uint64, probeDur, fixedDur time.Duration) (ServeBenchRun, error) {
+// measureAllocsPerLine runs the engine-free ingest and encode loops under
+// testing.Benchmark and reports heap allocations per line.
+func measureAllocsPerLine() (ingest, encode float64) {
+	const lines = 4096
+	body := serve.IngestBenchBody(lines, 1<<20)
+	if _, err := serve.IngestBenchLoop(body); err != nil { // warm the pools
+		return -1, -1
+	}
+	ir := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := serve.IngestBenchLoop(body); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	specs := make([]serve.TaskSpec, lines)
+	for i := range specs {
+		specs[i] = serve.TaskSpec{Node: uint32(i), Prio: int64(i % 13), Data: uint64(i)}
+	}
+	serve.EncodeBenchLoop(specs)
+	er := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			serve.EncodeBenchLoop(specs)
+		}
+	})
+	return float64(ir.AllocsPerOp()) / lines, float64(er.AllocsPerOp()) / lines
+}
+
+func runServeBench(label, scale, out string, workers, streams int, seed uint64, probeDur, fixedDur time.Duration) (ServeBenchRun, error) {
 	opts := serve.BenchOptions{
 		Graph:    "road",
 		Scale:    scale,
@@ -55,6 +102,7 @@ func runServeBench(label, scale, out string, workers int, seed uint64, probeDur,
 		Workers:  workers,
 		ProbeDur: probeDur,
 		FixedDur: fixedDur,
+		Streams:  streams,
 	}
 	opts = applyServeDefaults(opts)
 	run := ServeBenchRun{
@@ -71,7 +119,11 @@ func runServeBench(label, scale, out string, workers int, seed uint64, probeDur,
 		Batch:      opts.Batch,
 		ProbeMs:    opts.ProbeDur.Milliseconds(),
 		FixedMs:    opts.FixedDur.Milliseconds(),
+		Streams:    opts.Streams,
 	}
+	run.IngestAllocsPerLine, run.EncodeAllocsPerLine = measureAllocsPerLine()
+	fmt.Fprintf(os.Stderr, "serve-bench allocs/line: ingest %.3f, encode %.3f\n",
+		run.IngestAllocsPerLine, run.EncodeAllocsPerLine)
 	sweeps, err := serve.RunBench(opts, func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
 	})
@@ -83,7 +135,7 @@ func runServeBench(label, scale, out string, workers int, seed uint64, probeDur,
 	doc := ServeBenchDoc{Schema: serveBenchSchema}
 	if prev, err := os.ReadFile(out); err == nil {
 		var existing ServeBenchDoc
-		if err := json.Unmarshal(prev, &existing); err == nil && existing.Schema == doc.Schema {
+		if err := json.Unmarshal(prev, &existing); err == nil && serveSchemaOK(existing.Schema) {
 			for _, r := range existing.Runs {
 				if r.Label != label {
 					doc.Runs = append(doc.Runs, r)
@@ -125,6 +177,9 @@ func applyServeDefaults(o serve.BenchOptions) serve.BenchOptions {
 	if o.Scale == "" {
 		o.Scale = "tiny"
 	}
+	if o.Streams == 0 {
+		o.Streams = 4
+	}
 	return o
 }
 
@@ -147,8 +202,16 @@ func checkServeRun(run ServeBenchRun, baselinePath string, tol float64) error {
 			canary = append(canary, fmt.Sprintf("%s: %d server 5xx during the fixed-rate run", s.Queue, s.ServerErrs))
 		}
 	}
+	// Tolerance-exempt allocs/line canary: the zero-allocation ingest path is
+	// a structural property, not a throughput number — no -tol excuses the
+	// parser falling back to per-line json.Unmarshal. Applies only to the
+	// fresh run (v1 baselines carry no such field).
+	if run.IngestAllocsPerLine > 2 {
+		canary = append(canary, fmt.Sprintf(
+			"ingest allocs/line %.3f > 2: the zero-alloc parse path regressed", run.IngestAllocsPerLine))
+	}
 	if len(canary) > 0 {
-		return fmt.Errorf("zero-5xx canary tripped:\n  %s", strings.Join(canary, "\n  "))
+		return fmt.Errorf("tolerance-exempt canary tripped:\n  %s", strings.Join(canary, "\n  "))
 	}
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -158,7 +221,7 @@ func checkServeRun(run ServeBenchRun, baselinePath string, tol float64) error {
 	if err := json.Unmarshal(raw, &doc); err != nil {
 		return fmt.Errorf("baseline %s: %w", baselinePath, err)
 	}
-	if doc.Schema != serveBenchSchema {
+	if !serveSchemaOK(doc.Schema) {
 		return fmt.Errorf("baseline %s: unknown schema %q", baselinePath, doc.Schema)
 	}
 	if len(doc.Runs) == 0 {

@@ -23,6 +23,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"strings"
@@ -49,6 +50,7 @@ func main() {
 		waitRdy  = flag.Duration("wait-ready", 0, "poll /readyz this long before driving load (0 skips the wait)")
 		retries  = flag.Int("retries", 8, "max attempts per stream in retrying mode")
 		backoff  = flag.Duration("backoff", 25*time.Millisecond, "base backoff between retries (capped exponential, full jitter)")
+		streams  = flag.Int("streams", 0, "hold N persistent NDJSON streams open and round-robin batches onto them (0: one POST per batch)")
 	)
 	flag.Parse()
 	base := strings.TrimSuffix(*url, "/")
@@ -72,13 +74,26 @@ func main() {
 
 	gen := serve.RefreshGen(info.Nodes, *seed)
 	var retryStats serve.RetryStats
-	submitter := cl.Submitter(ctx, uint32(*jobID), gen)
-	if !*strict {
-		submitter = cl.RetrySubmitter(ctx, uint32(*jobID), gen, serve.RetryPolicy{
-			MaxAttempts: *retries,
-			BaseBackoff: *backoff,
-			Seed:        uint64(*seed),
-		}, &retryStats)
+	pol := serve.RetryPolicy{
+		MaxAttempts:    *retries,
+		BaseBackoff:    *backoff,
+		RequestTimeout: 10 * time.Second,
+		Seed:           uint64(*seed),
+	}
+	var submitter load.Submitter
+	switch {
+	case *streams > 0:
+		if *strict {
+			fatal(fmt.Errorf("-streams and -strict are mutually exclusive: persistent streams retry by design"))
+		}
+		var closer io.Closer
+		submitter, closer = cl.StreamSubmitter(ctx, uint32(*jobID), gen, *streams, pol, &retryStats)
+		defer closer.Close()
+		fmt.Printf("streams:  %d persistent\n", *streams)
+	case *strict:
+		submitter = cl.Submitter(ctx, uint32(*jobID), gen)
+	default:
+		submitter = cl.RetrySubmitter(ctx, uint32(*jobID), gen, pol, &retryStats)
 	}
 	res := load.Run(ctx, submitter, load.Options{
 		Rate:        *rate,
@@ -102,6 +117,11 @@ func main() {
 		res.BatchesByOut[load.Accepted], res.BatchesByOut[load.Backpressure], res.BatchesByOut[load.ServerError])
 	if !*strict {
 		fmt.Printf("retrying: %s\n", retryStats.String())
+	}
+	if res.GenSlipped > 0 || res.GeneratorBound {
+		fmt.Printf("clock:    %d arrivals slipped, max lag %s%s\n",
+			res.GenSlipped, res.GenLagMax.Round(time.Microsecond),
+			map[bool]string{true: "  ** GENERATOR-BOUND: results measure the generator, not the server **", false: ""}[res.GeneratorBound])
 	}
 
 	if *histOut != "" {

@@ -109,6 +109,20 @@ type Result struct {
 	Hist         *obs.Histogram
 	LastErr      error
 	BatchesByOut [3]int64 // batches per Outcome
+
+	// Clock-slip accounting. The loop is open only if the generator itself
+	// keeps schedule: when the arrival clock cannot keep up (scheduler
+	// starvation, dispatch overhead, a rate beyond what one goroutine can
+	// clock), offered rate silently degrades and a measured "knee" is a
+	// property of the generator, not the target. GenLagMax is the worst
+	// dispatch lag behind the scheduled arrival time; GenSlipped counts
+	// arrivals dispatched more than a mean inter-arrival gap (floored at
+	// 1ms) late; GeneratorBound is set when the schedule overran its
+	// deadline by more than max(Duration/20, 5ms) — results from such a run
+	// measure the generator and must not be read as server capacity.
+	GenLagMax      time.Duration
+	GenSlipped     int64
+	GeneratorBound bool
 }
 
 // OfferedRate returns offered tasks/second.
@@ -192,6 +206,12 @@ func Run(ctx context.Context, submit Submitter, o Options) Result {
 		byOut    [3]atomic.Int64
 		lastErr  atomic.Pointer[error]
 	)
+	// An arrival dispatched more than a mean gap (floored at 1ms) behind its
+	// scheduled time counts as slipped.
+	slipTol := time.Duration(float64(time.Second) / reqRate)
+	if slipTol < time.Millisecond {
+		slipTol = time.Millisecond
+	}
 	start := time.Now()
 	deadline := start.Add(o.Duration)
 	at := start
@@ -204,6 +224,13 @@ func Run(ctx context.Context, submit Submitter, o Options) Result {
 			select {
 			case <-time.After(d):
 			case <-ctx.Done():
+			}
+		} else if lag := -d; lag > 0 {
+			if lag > res.GenLagMax {
+				res.GenLagMax = lag
+			}
+			if lag > slipTol {
+				res.GenSlipped++
 			}
 		}
 		if ctx.Err() != nil {
@@ -240,6 +267,12 @@ func Run(ctx context.Context, submit Submitter, o Options) Result {
 				lastErr.Store(&err)
 			}
 		}()
+	}
+	// Schedule overrun is measured at arrival-loop exit, before waiting for
+	// in-flight submits: a slow target stretches wg.Wait, never the clock.
+	if overrun := time.Since(deadline); ctx.Err() == nil &&
+		overrun > max(o.Duration/20, 5*time.Millisecond) {
+		res.GeneratorBound = true
 	}
 	wg.Wait()
 	res.Elapsed = time.Since(start)

@@ -72,6 +72,44 @@ func TestOpenLoopDoesNotBlockOnSlowTarget(t *testing.T) {
 	}
 }
 
+func TestSlowTargetIsNotGeneratorBound(t *testing.T) {
+	// A target far slower than the arrival rate must not trip the clock-slip
+	// detector: submits run off the generator goroutine, so only the
+	// generator's own clock matters.
+	slow := func(n int) (int, Outcome, error) {
+		time.Sleep(50 * time.Millisecond)
+		return n, Accepted, nil
+	}
+	res := Run(context.Background(), slow, Options{
+		Rate: 2000, Batch: 16, Duration: 250 * time.Millisecond,
+		Seed: 6, MaxInFlight: 2,
+	})
+	if res.GeneratorBound {
+		t.Fatalf("slow target flagged generator-bound: lagMax %s slipped %d",
+			res.GenLagMax, res.GenSlipped)
+	}
+}
+
+func TestOverdrivenScheduleIsGeneratorBound(t *testing.T) {
+	// A schedule the generator goroutine cannot possibly clock (one arrival
+	// every 200ns) must be flagged: its offered rate measures the generator,
+	// not the target.
+	// MaxInFlight is uncapped so every arrival pays the dispatch cost instead
+	// of taking the cheap shed path.
+	var calls atomic.Int64
+	res := Run(context.Background(), fastSubmitter(&calls), Options{
+		Rate: 5e6, Batch: 1, Duration: 20 * time.Millisecond, Seed: 7,
+		MaxInFlight: 1 << 30,
+	})
+	if !res.GeneratorBound {
+		t.Fatalf("overdriven schedule not flagged generator-bound: %+v", res)
+	}
+	if res.GenSlipped == 0 || res.GenLagMax <= 0 {
+		t.Fatalf("slip accounting empty on an overdriven run: lagMax %s slipped %d",
+			res.GenLagMax, res.GenSlipped)
+	}
+}
+
 func TestOutcomeAccounting(t *testing.T) {
 	var i atomic.Int64
 	mixed := func(n int) (int, Outcome, error) {

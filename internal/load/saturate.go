@@ -62,6 +62,10 @@ type ProbePoint struct {
 	P99Ms       float64 `json:"p99_ms"`
 	Sustainable bool    `json:"sustainable"`
 	Reason      string  `json:"reason,omitempty"`
+	// GeneratorBound marks a probe whose arrival clock overran its schedule
+	// (Result.GeneratorBound): the probe measured the generator, not the
+	// target, and any knee derived from it is suspect.
+	GeneratorBound bool `json:"generator_bound,omitempty"`
 }
 
 // Saturate binary-searches the max sustainable task rate in
@@ -84,11 +88,12 @@ func Saturate(probe Probe, start, capRate float64, probeDur time.Duration, iters
 		}
 		ok, why := pol.Sustainable(r)
 		trace = append(trace, ProbePoint{
-			Rate:        rate,
-			Accepted:    r.AcceptedRate(),
-			P99Ms:       float64(r.Hist.Quantile(0.99)) / 1e6,
-			Sustainable: ok,
-			Reason:      why,
+			Rate:           rate,
+			Accepted:       r.AcceptedRate(),
+			P99Ms:          float64(r.Hist.Quantile(0.99)) / 1e6,
+			Sustainable:    ok,
+			Reason:         why,
+			GeneratorBound: r.GeneratorBound,
 		})
 		return ok, r, nil
 	}

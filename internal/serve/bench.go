@@ -13,6 +13,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"io"
 	"net"
 	"time"
 
@@ -45,6 +46,10 @@ type BenchOptions struct {
 	// Quota is the job-0 admission quota that converts saturation into
 	// 429s (0: 16384).
 	Quota int64
+	// Streams is the persistent-stream fan-out the probes submit over
+	// (0: 4). Negative selects the legacy one-POST-per-batch submitter —
+	// the pr8 protocol, kept for apples-to-apples comparison runs.
+	Streams int
 }
 
 func (o BenchOptions) withDefaults() BenchOptions {
@@ -84,6 +89,9 @@ func (o BenchOptions) withDefaults() BenchOptions {
 	if o.Quota <= 0 {
 		o.Quota = 16384
 	}
+	if o.Streams == 0 {
+		o.Streams = 4
+	}
 	return o
 }
 
@@ -101,6 +109,10 @@ type SweepMeasure struct {
 	Accepted    int64             `json:"accepted"`
 	Rejected    int64             `json:"rejected"`
 	ServerErrs  int64             `json:"server_5xx"`
+	// GeneratorBound marks a sweep any of whose probes overran the arrival
+	// schedule (load.Result.GeneratorBound): the knee is then a lower bound
+	// set by the generator, not the server.
+	GeneratorBound bool `json:"generator_bound,omitempty"`
 }
 
 // RunBench sweeps every requested queue kind. logf (nil allowed) receives
@@ -159,7 +171,27 @@ func benchKind(o BenchOptions, kind string, logf func(string, ...any)) (SweepMea
 		return m, err
 	}
 	gen := RefreshGen(info.Nodes, int64(o.Seed))
-	submit := cl.Submitter(ctx, 0, gen)
+	var submit load.Submitter
+	closeStreams := func() error { return nil }
+	if o.Streams > 0 {
+		// The measured protocol: batches ride a fan-out of long-lived NDJSON
+		// streams with per-flush acks, so a batch's latency is time to durable
+		// admission. The policy rides out transient faults without masking a
+		// collapse (the budget is far below a probe's duration).
+		var closer io.Closer
+		submit, closer = cl.StreamSubmitter(ctx, 0, gen, o.Streams, RetryPolicy{
+			MaxAttempts:    10,
+			BaseBackoff:    2 * time.Millisecond,
+			MaxBackoff:     100 * time.Millisecond,
+			Budget:         10 * time.Second,
+			RequestTimeout: 10 * time.Second,
+			Seed:           o.Seed,
+		}, nil)
+		closeStreams = closer.Close
+		defer closer.Close() // idempotent: safety net for early error returns
+	} else {
+		submit = cl.Submitter(ctx, 0, gen)
+	}
 
 	probe := func(rate float64, d time.Duration) (load.Result, error) {
 		res := load.Run(ctx, submit, load.Options{
@@ -182,6 +214,12 @@ func benchKind(o BenchOptions, kind string, logf func(string, ...any)) (SweepMea
 	}
 	m.MaxRate = maxRate
 	m.Probes = trace
+	for _, p := range trace {
+		if p.GeneratorBound {
+			m.GeneratorBound = true
+			logf("serve-bench %-10s WARNING: probe at %.0f tasks/s was generator-bound", kind, p.Rate)
+		}
+	}
 	logf("serve-bench %-10s knee %.0f tasks/s (%d probes)", kind, maxRate, len(trace))
 	if maxRate <= 0 {
 		return m, fmt.Errorf("no sustainable rate found (floor %.0f tasks/s failed: %+v)", o.StartRate, trace)
@@ -206,6 +244,11 @@ func benchKind(o BenchOptions, kind string, logf func(string, ...any)) (SweepMea
 		logf("serve-bench %-10s last server error: %v", kind, fixed.LastErr)
 	}
 
+	// Streams must close before Shutdown: an open idle stream is an active
+	// request the HTTP layer would otherwise wait out to its stall timeout.
+	if err := closeStreams(); err != nil {
+		return m, fmt.Errorf("closing streams: %w", err)
+	}
 	sctx, cancel := context.WithTimeout(ctx, 90*time.Second)
 	defer cancel()
 	rep, err := srv.Shutdown(sctx)

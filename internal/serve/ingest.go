@@ -1,0 +1,416 @@
+package serve
+
+// The zero-allocation submit ingest path. The serving knee used to sit ~60×
+// below the native engine's throughput because every NDJSON line paid a
+// bufio.Scanner copy, a reflective json.Unmarshal, and a handful of
+// per-flush heap allocations. This file removes all of it, applying the
+// same amortize-every-shared-touch idiom the MultiQueue uses internally:
+//
+//   - lineFramer frames newline-delimited lines straight out of a pooled
+//     read buffer without copying; a returned line is a sub-slice of the
+//     buffer, valid until the next call.
+//   - parseTaskSpecFast decodes the restricted NDJSON grammar the clients
+//     actually emit ({"node":N,"prio":N,"data":N}, any key order, JSON
+//     whitespace) with zero allocations. Anything outside that grammar —
+//     escapes, floats, unknown keys, overflow, malformed bytes — falls back
+//     to encoding/json on that line, so the accept/reject decision and the
+//     decoded fields (and even the error text) stay bit-identical with the
+//     old per-line json.Unmarshal. FuzzTaskSpecParser holds that contract.
+//   - sync.Pools recycle the framer (with its 64KB buffer), the
+//     []task.Task flush batches, and the response/error body buffers, so a
+//     steady-state submit stream allocates nothing per line.
+//
+// The same hand-rolled encoder is shared with the client side
+// (appendTaskSpecLine), so both halves of the boundary stay allocation-free.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+
+	"hdcps/internal/graph"
+	"hdcps/internal/task"
+)
+
+// taskFromSpec is the wire→engine conversion shared by the handler and the
+// ingest benchmarks.
+func taskFromSpec(sp TaskSpec) task.Task {
+	return task.Task{Node: graph.NodeID(sp.Node), Prio: sp.Prio, Data: sp.Data}
+}
+
+// maxLineBytes caps one NDJSON line, matching the 1MB bufio.Scanner buffer
+// the previous implementation used. Beyond it the framer reports
+// errLineTooLong so the handler can name the offending line instead of
+// returning a generic read error.
+const maxLineBytes = 1 << 20
+
+// errLineTooLong marks a single NDJSON line that exceeded maxLineBytes. The
+// handler maps it to a 400 naming the line number and the admitted prefix,
+// so the client can repair the line instead of blind-retrying the stream.
+var errLineTooLong = errors.New("line too long")
+
+// lineFramer yields newline-delimited lines from an io.Reader without
+// copying: each returned line is a sub-slice of the framer's buffer, valid
+// until the next call. Framing matches bufio.ScanLines exactly — the
+// trailing '\n' is consumed, one trailing '\r' is stripped, and a final
+// unterminated line is returned at EOF.
+type lineFramer struct {
+	r     io.Reader
+	buf   []byte
+	start int // window start: first unconsumed byte
+	end   int // window end: one past the last buffered byte
+	scan  int // no '\n' exists in buf[start:scan) — resume searches here
+	eof   bool
+	err   error // deferred read error (data buffered before it drains first)
+}
+
+// framerPool recycles framers with their grown buffers; a steady-state
+// server frames every stream out of a handful of warm 64KB buffers.
+var framerPool = sync.Pool{
+	New: func() any {
+		return &lineFramer{buf: make([]byte, 64*1024)}
+	},
+}
+
+func newLineFramer(r io.Reader) *lineFramer {
+	fr := framerPool.Get().(*lineFramer)
+	fr.r = r
+	fr.start, fr.end, fr.scan = 0, 0, 0
+	fr.eof = false
+	fr.err = nil
+	return fr
+}
+
+// release returns the framer to the pool. The caller must not use any line
+// slice it obtained from this framer afterwards.
+func (fr *lineFramer) release() {
+	fr.r = nil
+	framerPool.Put(fr)
+}
+
+// dropCR strips one trailing '\r', mirroring bufio.ScanLines.
+func dropCR(b []byte) []byte {
+	if n := len(b); n > 0 && b[n-1] == '\r' {
+		return b[:n-1]
+	}
+	return b
+}
+
+// buffered reports whether next() can return a line without touching the
+// underlying reader — a complete line is framed, a deferred EOF tail or
+// read error is pending. The handler uses it to flush batched work before
+// blocking on the network (the flush-on-idle policy for acked streams).
+func (fr *lineFramer) buffered() bool {
+	if i := bytes.IndexByte(fr.buf[fr.scan:fr.end], '\n'); i >= 0 {
+		return true
+	}
+	fr.scan = fr.end
+	return fr.eof || fr.err != nil
+}
+
+// next returns the next line. io.EOF signals a clean end of stream;
+// errLineTooLong a line beyond maxLineBytes; any other error is the
+// underlying reader's. Lines framed before a read error surface first,
+// exactly like bufio.Scanner.
+func (fr *lineFramer) next() ([]byte, error) {
+	for {
+		// A complete line already in the window?
+		if i := bytes.IndexByte(fr.buf[fr.scan:fr.end], '\n'); i >= 0 {
+			nl := fr.scan + i
+			line := dropCR(fr.buf[fr.start:nl])
+			fr.start = nl + 1
+			fr.scan = fr.start
+			return line, nil
+		}
+		fr.scan = fr.end
+		if fr.eof || fr.err != nil {
+			if fr.start < fr.end {
+				// Final unterminated line (EOF) or the data framed ahead of a
+				// deferred error.
+				if fr.eof && fr.err == nil {
+					line := dropCR(fr.buf[fr.start:fr.end])
+					fr.start = fr.end
+					fr.scan = fr.start
+					return line, nil
+				}
+			}
+			if fr.err != nil {
+				return nil, fr.err
+			}
+			return nil, io.EOF
+		}
+		// Need more bytes: make room, then read.
+		if fr.end == len(fr.buf) {
+			if fr.start > 0 {
+				copy(fr.buf, fr.buf[fr.start:fr.end])
+				fr.end -= fr.start
+				fr.scan -= fr.start
+				fr.start = 0
+			} else if len(fr.buf) < maxLineBytes+1 {
+				grown := make([]byte, min(2*len(fr.buf), maxLineBytes+1))
+				copy(grown, fr.buf[:fr.end])
+				fr.buf = grown
+			} else {
+				return nil, errLineTooLong
+			}
+		}
+		n, err := fr.r.Read(fr.buf[fr.end:])
+		fr.end += n
+		if err != nil {
+			if err == io.EOF {
+				fr.eof = true
+			} else {
+				fr.err = err
+			}
+		}
+	}
+}
+
+// parseTaskSpecFast decodes one NDJSON task line with zero allocations. It
+// accepts exactly the restricted grammar the clients emit — an object with
+// integer-valued "node"/"prio"/"data" members in any order, separated by
+// JSON whitespace — and reports ok=false for anything else, telling the
+// caller to fall back to encoding/json so the observable accept/reject
+// decision, decoded fields, and error text stay bit-identical with a plain
+// json.Unmarshal. Notably it falls back (rather than deciding) on overflow,
+// leading zeros, floats, escapes, duplicate-with-garbage, and trailing
+// content: encoding/json is the single source of truth for every edge.
+func parseTaskSpecFast(b []byte) (TaskSpec, bool) {
+	var spec TaskSpec
+	i, n := 0, len(b)
+	skipWS := func() {
+		for i < n && (b[i] == ' ' || b[i] == '\t' || b[i] == '\r' || b[i] == '\n') {
+			i++
+		}
+	}
+	skipWS()
+	if i >= n || b[i] != '{' {
+		return spec, false
+	}
+	i++
+	skipWS()
+	if i < n && b[i] == '}' {
+		i++
+		skipWS()
+		return spec, i == n
+	}
+	for {
+		// Key: a plain, unescaped "node" / "prio" / "data".
+		if i >= n || b[i] != '"' || i+5 >= n || b[i+5] != '"' {
+			return spec, false
+		}
+		var field int // 0 node, 1 prio, 2 data
+		switch {
+		case b[i+1] == 'n' && b[i+2] == 'o' && b[i+3] == 'd' && b[i+4] == 'e':
+			field = 0
+		case b[i+1] == 'p' && b[i+2] == 'r' && b[i+3] == 'i' && b[i+4] == 'o':
+			field = 1
+		case b[i+1] == 'd' && b[i+2] == 'a' && b[i+3] == 't' && b[i+4] == 'a':
+			field = 2
+		default:
+			return spec, false
+		}
+		i += 6
+		skipWS()
+		if i >= n || b[i] != ':' {
+			return spec, false
+		}
+		i++
+		skipWS()
+		// Value: a plain JSON integer. '-' is only meaningful for prio —
+		// for the unsigned fields encoding/json errors, so fall back.
+		neg := false
+		if i < n && b[i] == '-' {
+			if field != 1 {
+				return spec, false
+			}
+			neg = true
+			i++
+		}
+		ds := i
+		var v uint64
+		for i < n && b[i] >= '0' && b[i] <= '9' {
+			d := uint64(b[i] - '0')
+			if v > (1<<64-1-d)/10 {
+				return spec, false // overflow: let encoding/json phrase the error
+			}
+			v = v*10 + d
+			i++
+		}
+		switch {
+		case i == ds:
+			return spec, false // no digits
+		case b[ds] == '0' && i-ds > 1:
+			return spec, false // leading zero: invalid JSON number
+		}
+		switch field {
+		case 0:
+			if v > 1<<32-1 {
+				return spec, false
+			}
+			spec.Node = uint32(v)
+		case 1:
+			if neg {
+				if v > 1<<63 {
+					return spec, false
+				}
+				spec.Prio = -int64(v)
+			} else {
+				if v > 1<<63-1 {
+					return spec, false
+				}
+				spec.Prio = int64(v)
+			}
+		case 2:
+			spec.Data = v
+		}
+		skipWS()
+		if i >= n {
+			return spec, false
+		}
+		switch b[i] {
+		case ',':
+			i++
+			skipWS()
+			continue
+		case '}':
+			i++
+			skipWS()
+			return spec, i == n
+		default:
+			return spec, false
+		}
+	}
+}
+
+// parseTaskSpecLine is the full ingest decode: the zero-alloc fast path,
+// with encoding/json as the semantic authority for every line the fast
+// grammar does not cover.
+func parseTaskSpecLine(b []byte) (TaskSpec, error) {
+	if spec, ok := parseTaskSpecFast(b); ok {
+		return spec, nil
+	}
+	var spec TaskSpec
+	err := json.Unmarshal(b, &spec)
+	return spec, err
+}
+
+// appendTaskSpecLine appends sp encoded as one NDJSON line, byte-identical
+// to json.Encoder's output for TaskSpec ({"node":N,"prio":N,"data":N} plus
+// a trailing newline) without the per-call encoder state.
+func appendTaskSpecLine(dst []byte, sp TaskSpec) []byte {
+	dst = append(dst, `{"node":`...)
+	dst = strconv.AppendUint(dst, uint64(sp.Node), 10)
+	dst = append(dst, `,"prio":`...)
+	dst = strconv.AppendInt(dst, sp.Prio, 10)
+	dst = append(dst, `,"data":`...)
+	dst = strconv.AppendUint(dst, sp.Data, 10)
+	dst = append(dst, '}', '\n')
+	return dst
+}
+
+// batchPool recycles the per-request []task.Task flush batches. Safe
+// because the engine's transport copies tasks out of the submitted slice
+// before Submit returns.
+var batchPool = sync.Pool{
+	New: func() any {
+		b := make([]task.Task, 0, submitFlush)
+		return &b
+	},
+}
+
+// bodyBuf is a pooled response/request body builder: a byte buffer plus a
+// lazily attached json.Encoder for the structured (error) bodies. The hot
+// 200 path appends bytes directly.
+type bodyBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var bodyPool = sync.Pool{
+	New: func() any {
+		b := &bodyBuf{}
+		b.enc = json.NewEncoder(&b.buf)
+		return b
+	},
+}
+
+func getBody() *bodyBuf {
+	b := bodyPool.Get().(*bodyBuf)
+	b.buf.Reset()
+	return b
+}
+
+func putBody(b *bodyBuf) { bodyPool.Put(b) }
+
+// IngestBenchBody builds an n-line NDJSON submit body cycling nodes over
+// [0, nodes) — the corpus the ingest benchmarks and the allocs/line
+// measurement share.
+func IngestBenchBody(n, nodes int) []byte {
+	var buf []byte
+	for i := 0; i < n; i++ {
+		buf = appendTaskSpecLine(buf, TaskSpec{
+			Node: uint32(i % nodes),
+			Prio: int64(i % 7),
+			Data: uint64(i),
+		})
+	}
+	return buf
+}
+
+// IngestBenchLoop runs the server's parse half of the ingest hot path —
+// framing, decoding, batch building, pool recycling — over one NDJSON body,
+// exactly as handleSubmit does but with the engine swapped out. It returns
+// the number of lines decoded. cmd/hdcps-bench measures allocs/line over
+// this loop for BENCH_serve.json's ingest_allocs_per_line; the
+// BenchmarkSubmitIngest family wraps it too.
+func IngestBenchLoop(body []byte) (int, error) {
+	fr := newLineFramer(bytes.NewReader(body))
+	defer fr.release()
+	bb := batchPool.Get().(*[]task.Task)
+	batch := (*bb)[:0]
+	defer func() {
+		*bb = batch[:0]
+		batchPool.Put(bb)
+	}()
+	lines := 0
+	for {
+		raw, err := fr.next()
+		if err == io.EOF {
+			return lines, nil
+		}
+		if err != nil {
+			return lines, err
+		}
+		if len(raw) == 0 {
+			continue
+		}
+		lines++
+		spec, err := parseTaskSpecLine(raw)
+		if err != nil {
+			return lines, fmt.Errorf("line %d: bad task spec: %w", lines, err)
+		}
+		batch = append(batch, taskFromSpec(spec))
+		if len(batch) >= submitFlush {
+			batch = batch[:0]
+		}
+	}
+}
+
+// EncodeBenchLoop runs the client's encode half of the boundary — the
+// pooled pre-encoded line writer — over specs, returning bytes produced.
+// cmd/hdcps-bench measures allocs/line over it for encode_allocs_per_line.
+func EncodeBenchLoop(specs []TaskSpec) int {
+	b := getBody()
+	defer putBody(b)
+	buf := b.buf.AvailableBuffer()
+	for _, sp := range specs {
+		buf = appendTaskSpecLine(buf, sp)
+	}
+	b.buf.Write(buf)
+	return b.buf.Len()
+}

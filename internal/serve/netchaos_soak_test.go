@@ -1,7 +1,8 @@
 package serve
 
 // The netchaos soak: a real serve.Server behind a fault-injecting listener,
-// driven by the retrying client, with engine-layer chaos composed in for the
+// driven by both client protocols — the one-shot retrying client and the
+// persistent-stream submitter — with engine-layer chaos composed in for the
 // final mix. The proof obligation is three-way ledger agreement at
 // quiescence under every fault mix:
 //
@@ -160,6 +161,37 @@ func runNetchaosMix(t *testing.T, mix netchaosMix) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
+			if g == 0 {
+				// One goroutine drives the persistent-stream submitter: a
+				// single long-lived NDJSON request held open across batches
+				// (pooled pre-encoded line buffers, per-flush acks), reconnected
+				// and resumed through the same exactly-once protocol when the
+				// fault layer kills it. Its confirmations enter the same
+				// three-way ledger proof as the one-shot retrying client's.
+				const batch = 512
+				ps := cl.PersistentStream(0, pol, &st)
+				defer ps.Close()
+				for round := 0; round < streams; round++ {
+					for off := 0; off < tasksPerStream; off += batch {
+						specs := make([]TaskSpec, batch)
+						for i := range specs {
+							specs[i] = gen(g, round, off+i)
+						}
+						admitted, err := ps.Submit(ctx, specs)
+						mu.Lock()
+						confirmed += admitted
+						mu.Unlock()
+						if err != nil {
+							errCh <- fmt.Errorf("goroutine %d persistent stream round %d off %d: %w", g, round, off, err)
+							return
+						}
+					}
+				}
+				if err := ps.Close(); err != nil {
+					errCh <- fmt.Errorf("goroutine %d persistent stream close: %w", g, err)
+				}
+				return
+			}
 			for round := 0; round < streams; round++ {
 				specs := make([]TaskSpec, tasksPerStream)
 				for i := range specs {

@@ -36,6 +36,12 @@ const (
 	HeaderStreamID     = "X-Stream-Id"
 	HeaderStreamOffset = "X-Stream-Offset"
 	HeaderDeadlineMs   = "X-Request-Deadline-Ms"
+	// HeaderAckFlush opts a submit request into the progress-ack protocol:
+	// the server commits 200 immediately, emits one NDJSON ack line per
+	// flush ({"accepted":N}, cumulative for the request), and delivers any
+	// later failure in-band as a terminal ack line. The persistent-stream
+	// client keys off it to confirm batches without closing the request.
+	HeaderAckFlush = "X-Ack-Flush"
 )
 
 // streamKey identifies one resumable stream: stream IDs are scoped per job,

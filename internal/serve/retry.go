@@ -131,20 +131,14 @@ func retryable(status int, err error) bool {
 // error), and the server's retry hint if any.
 func (c *Client) submitResumable(ctx context.Context, jobID uint32, streamID string,
 	offset int64, specs []TaskSpec, reqTimeout time.Duration) (int64, int, time.Duration, error) {
-	var buf bytes.Buffer
-	enc := json.NewEncoder(&buf)
-	for _, sp := range specs {
-		if err := enc.Encode(sp); err != nil {
-			return 0, 0, 0, err
-		}
-	}
+	body := encodeNDJSON(specs)
+	defer ndjsonPool.Put(body)
 	if reqTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, reqTimeout)
 		defer cancel()
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		fmt.Sprintf("%s/v1/jobs/%d/submit", c.Base, jobID), &buf)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.submitURL(jobID), bytes.NewReader(*body))
 	if err != nil {
 		return 0, 0, 0, err
 	}

@@ -25,12 +25,12 @@
 package serve
 
 import (
-	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
 	"expvar"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -198,6 +198,11 @@ type Server struct {
 	// (initial seeds included). Shutdown proves accepted == Submitted.
 	accepted atomic.Int64
 	draining atomic.Bool
+	// drainCtx is cancelled the moment draining flips, so in-flight submit
+	// loops observe the admission cutoff through their one-atomic flush gate
+	// (context.AfterFunc) instead of re-polling draining per flush.
+	drainCtx    context.Context
+	drainCancel context.CancelFunc
 
 	// Network-boundary resilience state (resilience.go): the exactly-once
 	// stream tracker, the shed/deadline/abort/resume counters, and the
@@ -259,6 +264,7 @@ func New(cfg Config) (*Server, error) {
 		chaosT:  ct,
 		started: time.Now(),
 	}
+	s.drainCtx, s.drainCancel = context.WithCancel(context.Background())
 	if cfg.SeedInitial {
 		seeds := wl.InitialTasks()
 		if err := eng.Submit(seeds...); err != nil {
@@ -623,25 +629,62 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// Progress-ack mode (X-Ack-Flush): the response commits 200 immediately
+	// and the handler emits one NDJSON ack line per flush, so a client
+	// holding a long-lived stream open learns its admitted prefix without
+	// closing the request. Every later failure is delivered in-band as a
+	// terminal ack line. Legacy requests (no header) keep the buffered
+	// single-response protocol byte for byte.
+	var ack *ackWriter
+	if r.Header.Get(HeaderAckFlush) != "" {
+		ack = startAckStream(w)
+		defer ack.close()
+	}
+
+	// The flush gate: both cancellation sources — the request context
+	// (client abort, request deadline) and the server's drain cut — latch
+	// one atomic, so the steady-state flush pays a single load instead of a
+	// context poll plus a draining poll. Shutdown stores draining before
+	// cancelling drainCtx, so a fired gate always classifies.
+	var gate atomic.Bool
+	stopCtxGate := context.AfterFunc(ctx, func() { gate.Store(true) })
+	defer stopCtxGate()
+	stopDrainGate := context.AfterFunc(s.drainCtx, func() { gate.Store(true) })
+	defer stopDrainGate()
+	if ctx.Err() != nil || s.drainCtx.Err() != nil {
+		// AfterFunc on an already-done context fires on its own goroutine;
+		// latch synchronously so a request arriving after the cutoff is
+		// refused at its first flush, deterministically.
+		gate.Store(true)
+	}
+	maxOut := s.cfg.MaxOutstanding
+
 	nodes := uint32(s.g.NumNodes())
 	var accepted int64 // lines of this request admitted (resumed skips included)
-	batch := make([]task.Task, 0, submitFlush)
+	bb := batchPool.Get().(*[]task.Task)
+	batch := (*bb)[:0]
+	defer func() {
+		*bb = batch[:0]
+		batchPool.Put(bb)
+	}()
 	flush := func() error {
 		if len(batch) == 0 {
 			return nil
 		}
-		if err := ctx.Err(); err != nil {
-			if hasDeadline && errors.Is(err, context.DeadlineExceeded) {
-				return errDeadline
+		if gate.Load() {
+			if err := ctx.Err(); err != nil {
+				if hasDeadline && errors.Is(err, context.DeadlineExceeded) {
+					return errDeadline
+				}
+				// r.Context() died: the client went away mid-stream. Nothing
+				// readable will be written back, but stop admitting its work.
+				return errAborted
 			}
-			// r.Context() died: the client went away mid-stream. Nothing
-			// readable will be written back, but stop admitting its work.
-			return errAborted
+			if s.draining.Load() {
+				return errDraining
+			}
 		}
-		if s.draining.Load() {
-			return errDraining
-		}
-		if max := s.cfg.MaxOutstanding; max > 0 && s.eng.Outstanding() > max {
+		if maxOut > 0 && s.eng.Outstanding() > maxOut {
 			return errOverload
 		}
 		if err := job.Submit(batch...); err != nil {
@@ -657,12 +700,67 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		armStall()
 		return nil
 	}
-	sc := bufio.NewScanner(r.Body)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	fail := func(err error) {
+		if ack != nil {
+			s.countSubmitFailure(err)
+			ack.terminal(err, accepted)
+			return
+		}
+		s.submitFailure(w, err, accepted)
+	}
+	fr := newLineFramer(r.Body)
+	defer fr.release()
 	line := 0
-	for sc.Scan() {
-		raw := sc.Bytes()
+	for {
+		if ack != nil && !fr.buffered() && (len(batch) > 0 || accepted > ack.acked) {
+			// Flush-on-idle: the next read would block on the network, so
+			// commit the batch and ack the client's admitted prefix now —
+			// ack latency tracks the RTT, not the flush cadence.
+			if err := flush(); err != nil {
+				fail(err)
+				return
+			}
+			ack.progress(accepted)
+		}
+		raw, err := fr.next()
+		if err != nil {
+			if err == io.EOF {
+				break
+			}
+			if errors.Is(err, errLineTooLong) {
+				// The offending line is the next one the stream would have
+				// yielded. Name it, and report the admitted prefix so the
+				// client can repair the line instead of blind-retrying.
+				writeInBand(w, ack, http.StatusBadRequest, fmt.Sprintf(
+					"line %d: line too long (limit %d bytes)", line+1, maxLineBytes), accepted, 0)
+				return
+			}
+			s.countConnAbort()
+			switch {
+			case errors.Is(err, os.ErrDeadlineExceeded) && hasDeadline && ctx.Err() != nil:
+				// The read deadline that fired was the request deadline, not a
+				// stalled client: report it as retryable backpressure.
+				fail(errDeadline)
+			case errors.Is(err, os.ErrDeadlineExceeded):
+				// The body stopped making progress. The connection is poisoned
+				// past its read deadline, so close it — but report the admitted
+				// prefix so a recovered client can resume the stream.
+				if ack == nil {
+					w.Header().Set("Connection", "close")
+				}
+				writeInBand(w, ack, http.StatusRequestTimeout, "submit body stalled: "+err.Error(), accepted, 0)
+			default:
+				writeInBand(w, ack, http.StatusBadRequest, "reading body: "+err.Error(), accepted, 0)
+			}
+			return
+		}
 		if len(raw) == 0 {
+			// Progress-mode clients send empty-line heartbeats while idle
+			// (protocol no-ops, skipped without counting): feed the stall
+			// detector so a live-but-idle stream is not cut.
+			if ack != nil {
+				armStall()
+			}
 			continue
 		}
 		line++
@@ -671,55 +769,37 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			accepted++
 			continue
 		}
-		var spec TaskSpec
-		if err := json.Unmarshal(raw, &spec); err != nil {
-			writeJSON(w, http.StatusBadRequest, errorBody{
-				Error:    fmt.Sprintf("line %d: bad task spec: %v", line, err),
-				Accepted: accepted,
-			})
+		spec, perr := parseTaskSpecLine(raw)
+		if perr != nil {
+			writeInBand(w, ack, http.StatusBadRequest,
+				fmt.Sprintf("line %d: bad task spec: %v", line, perr), accepted, 0)
 			return
 		}
 		if spec.Node >= nodes {
-			writeJSON(w, http.StatusBadRequest, errorBody{
-				Error:    fmt.Sprintf("line %d: node %d out of range [0,%d)", line, spec.Node, nodes),
-				Accepted: accepted,
-			})
+			writeInBand(w, ack, http.StatusBadRequest,
+				fmt.Sprintf("line %d: node %d out of range [0,%d)", line, spec.Node, nodes), accepted, 0)
 			return
 		}
-		batch = append(batch, task.Task{Node: graph.NodeID(spec.Node), Prio: spec.Prio, Data: spec.Data})
+		batch = append(batch, taskFromSpec(spec))
 		if len(batch) >= submitFlush {
 			if err := flush(); err != nil {
-				s.submitFailure(w, err, accepted)
+				fail(err)
 				return
+			}
+			if ack != nil {
+				ack.progress(accepted)
 			}
 		}
 	}
-	if err := sc.Err(); err != nil {
-		s.countConnAbort()
-		switch {
-		case errors.Is(err, os.ErrDeadlineExceeded) && hasDeadline && ctx.Err() != nil:
-			// The read deadline that fired was the request deadline, not a
-			// stalled client: report it as retryable backpressure.
-			s.submitFailure(w, errDeadline, accepted)
-		case errors.Is(err, os.ErrDeadlineExceeded):
-			// The body stopped making progress. The connection is poisoned
-			// past its read deadline, so close it — but report the admitted
-			// prefix so a recovered client can resume the stream.
-			w.Header().Set("Connection", "close")
-			writeJSON(w, http.StatusRequestTimeout, errorBody{
-				Error:    "submit body stalled: " + err.Error(),
-				Accepted: accepted,
-			})
-		default:
-			writeJSON(w, http.StatusBadRequest, errorBody{Error: "reading body: " + err.Error(), Accepted: accepted})
-		}
-		return
-	}
 	if err := flush(); err != nil {
-		s.submitFailure(w, err, accepted)
+		fail(err)
 		return
 	}
-	writeJSON(w, http.StatusOK, submitResult{Accepted: accepted})
+	if ack != nil {
+		ack.final(accepted)
+		return
+	}
+	writeSubmitOK(w, accepted)
 }
 
 var (
@@ -825,6 +905,15 @@ type ShutdownReport struct {
 	LedgerExact bool             `json:"ledger_exact"`
 }
 
+// startDraining flips the admission cutoff: the draining flag for the
+// probe/list paths, then the drainCtx cancel that fires every in-flight
+// submit's flush gate. The store must precede the cancel so a fired gate
+// always classifies as draining.
+func (s *Server) startDraining() {
+	s.draining.Store(true)
+	s.drainCancel()
+}
+
 // Shutdown is the graceful SIGTERM path, in the only order that makes the
 // ledger provable: stop admitting (every in-flight submit's next flush sees
 // the flag), let the HTTP layer finish its in-flight requests, drain the
@@ -833,7 +922,7 @@ type ShutdownReport struct {
 // then stop the fleet. Any violated step returns an error and a report
 // showing how far the proof got.
 func (s *Server) Shutdown(ctx context.Context) (ShutdownReport, error) {
-	s.draining.Store(true)
+	s.startDraining()
 	s.hsMu.Lock()
 	hs := s.hs
 	s.hsMu.Unlock()

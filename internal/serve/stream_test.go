@@ -1,0 +1,388 @@
+package serve
+
+// Tests for the progress-ack protocol and the persistent-stream client.
+// These need a real HTTP server (full duplex does not exist on recorders),
+// so they run against httptest.NewServer, and the fault tests wrap the
+// listener in netchaos exactly like the soak.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hdcps/internal/load"
+	"hdcps/internal/netchaos"
+)
+
+func newLocalListener(t *testing.T) net.Listener {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lis
+}
+
+func streamPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts:    30,
+		BaseBackoff:    2 * time.Millisecond,
+		MaxBackoff:     50 * time.Millisecond,
+		Budget:         60 * time.Second,
+		RequestTimeout: 5 * time.Second,
+		Seed:           7,
+	}
+}
+
+// TestProgressAckProtocol drives the wire protocol by hand: one request
+// holding the body open, asserting a flush ack arrives while the request is
+// still streaming and the terminal line closes it out.
+func TestProgressAckProtocol(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	_ = s
+	pr, pw := newBlockingBody()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs/0/submit", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	req.Header.Set(HeaderAckFlush, "1")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want immediate 200", resp.StatusCode)
+	}
+	if resp.Header.Get(HeaderAckFlush) == "" {
+		t.Fatal("server did not echo the ack protocol header")
+	}
+
+	// First batch: 3 lines, then idle → the server must flush and ack
+	// without seeing EOF.
+	body := appendTaskSpecLine(nil, TaskSpec{Node: 1})
+	body = appendTaskSpecLine(body, TaskSpec{Node: 2})
+	body = appendTaskSpecLine(body, TaskSpec{Node: 3})
+	if _, err := pw.Write(body); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	readAck := func() ackLine {
+		t.Helper()
+		if !sc.Scan() {
+			t.Fatalf("ack stream ended early: %v", sc.Err())
+		}
+		var al ackLine
+		if err := json.Unmarshal(sc.Bytes(), &al); err != nil {
+			t.Fatalf("bad ack line %q: %v", sc.Bytes(), err)
+		}
+		return al
+	}
+	if al := readAck(); al.Accepted != 3 || al.Final {
+		t.Fatalf("first ack = %+v, want accepted 3, not final", al)
+	}
+	// Second batch on the same request.
+	if _, err := pw.Write(appendTaskSpecLine(nil, TaskSpec{Node: 4})); err != nil {
+		t.Fatal(err)
+	}
+	if al := readAck(); al.Accepted != 4 || al.Final {
+		t.Fatalf("second ack = %+v, want accepted 4, not final", al)
+	}
+	pw.Close()
+	if al := readAck(); !al.Final || al.Status != http.StatusOK || al.Accepted != 4 {
+		t.Fatalf("terminal ack = %+v, want final status 200 accepted 4", al)
+	}
+}
+
+// TestProgressAckInBandError: a bad line after the 200 commits must arrive
+// as a terminal ack line carrying the legacy status and error text.
+func TestProgressAckInBandError(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	pr, pw := newBlockingBody()
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs/0/submit", pr)
+	req.Header.Set(HeaderAckFlush, "1")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	go func() {
+		pw.Write([]byte("{not json}\n"))
+		pw.Close()
+	}()
+	sc := bufio.NewScanner(resp.Body)
+	var last ackLine
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			t.Fatalf("bad ack line %q: %v", sc.Bytes(), err)
+		}
+		if last.Final {
+			break
+		}
+	}
+	if last.Status != http.StatusBadRequest || !strings.Contains(last.Error, "line 1") {
+		t.Fatalf("terminal = %+v, want in-band 400 naming line 1", last)
+	}
+}
+
+// blockingBody is an io.Pipe wrapper usable as a request body from tests.
+func newBlockingBody() (*blockingBody, *blockingBody) {
+	pr, pw := newPipePair()
+	return pr, pw
+}
+
+type blockingBody struct {
+	read  func(p []byte) (int, error)
+	write func(p []byte) (int, error)
+	close func() error
+}
+
+func (b *blockingBody) Read(p []byte) (int, error)  { return b.read(p) }
+func (b *blockingBody) Write(p []byte) (int, error) { return b.write(p) }
+func (b *blockingBody) Close() error                { return b.close() }
+
+func newPipePair() (*blockingBody, *blockingBody) {
+	type pipe struct {
+		mu     sync.Mutex
+		cond   *sync.Cond
+		buf    []byte
+		closed bool
+	}
+	p := &pipe{}
+	p.cond = sync.NewCond(&p.mu)
+	r := &blockingBody{
+		read: func(out []byte) (int, error) {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			for len(p.buf) == 0 && !p.closed {
+				p.cond.Wait()
+			}
+			if len(p.buf) == 0 {
+				return 0, io.EOF
+			}
+			n := copy(out, p.buf)
+			p.buf = p.buf[n:]
+			return n, nil
+		},
+		close: func() error { return nil },
+	}
+	w := &blockingBody{
+		write: func(in []byte) (int, error) {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			p.buf = append(p.buf, in...)
+			p.cond.Broadcast()
+			return len(in), nil
+		},
+		close: func() error {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			p.closed = true
+			p.cond.Broadcast()
+			return nil
+		},
+	}
+	return r, w
+}
+
+func TestPersistentStreamSubmits(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	cl := &Client{Base: ts.URL, HC: ts.Client()}
+	var st RetryStats
+	ps := cl.PersistentStream(0, streamPolicy(), &st)
+	ctx := context.Background()
+	nodes := s.g.NumNodes()
+	base := s.accepted.Load() // initial seeds
+
+	var total int64
+	for round := 0; round < 40; round++ {
+		specs := make([]TaskSpec, 97) // not a multiple of submitFlush
+		for i := range specs {
+			specs[i] = TaskSpec{Node: uint32((round*97 + i) % nodes)}
+		}
+		acc, err := ps.Submit(ctx, specs)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if acc != 97 {
+			t.Fatalf("round %d: admitted %d, want 97", round, acc)
+		}
+		total += acc
+	}
+	if got := ps.Confirmed(); got != total {
+		t.Fatalf("confirmed %d, want %d", got, total)
+	}
+	if err := ps.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.accepted.Load() - base; got != total {
+		t.Fatalf("server accepted %d, client confirmed %d", got, total)
+	}
+	// The whole run must ride ONE request: that is the point.
+	if a := st.Attempts.Load(); a != 1 {
+		t.Fatalf("run used %d attempts, want 1 persistent request (stats %s)", a, st.String())
+	}
+}
+
+func TestPersistentStreamConcurrentSubmits(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	cl := &Client{Base: ts.URL, HC: ts.Client()}
+	ps := cl.PersistentStream(0, streamPolicy(), nil)
+	ctx := context.Background()
+	nodes := s.g.NumNodes()
+	base := s.accepted.Load()
+
+	const (
+		goroutines = 8
+		perG       = 20
+		batch      = 33
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < perG; r++ {
+				specs := make([]TaskSpec, batch)
+				for i := range specs {
+					specs[i] = TaskSpec{Node: uint32((g + r + i) % nodes)}
+				}
+				if acc, err := ps.Submit(ctx, specs); err != nil || acc != batch {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	want := int64(goroutines * perG * batch)
+	if got := ps.Confirmed(); got != want {
+		t.Fatalf("confirmed %d, want %d", got, want)
+	}
+	if err := ps.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.accepted.Load() - base; got != want {
+		t.Fatalf("server accepted %d, want %d", got, want)
+	}
+}
+
+// TestPersistentStreamReconnects: mid-stream RSTs must be healed by the
+// reconnect/resume path with exactly-once accounting.
+func TestPersistentStreamReconnects(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault test skipped in -short")
+	}
+	s, err := New(Config{
+		Workload: "sssp", Input: "road", Scale: "tiny", Seed: 42,
+		Workers: 2, SubmitStallTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := newLocalListener(t)
+	lis := netchaos.Wrap(inner, netchaos.Config{Seed: 211, RST: 0.25})
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(lis) }()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	cl := &Client{Base: "http://" + inner.Addr().String()}
+	if err := cl.WaitReady(ctx, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var st RetryStats
+	ps := cl.PersistentStream(0, streamPolicy(), &st)
+	nodes := s.g.NumNodes()
+	var confirmed int64
+	for round := 0; round < 60; round++ {
+		specs := make([]TaskSpec, 256)
+		for i := range specs {
+			specs[i] = TaskSpec{Node: uint32((round + i) % nodes)}
+		}
+		acc, err := ps.Submit(ctx, specs)
+		confirmed += acc
+		if err != nil {
+			t.Fatalf("round %d: %v (stats %s, net %s)", round, err, st.String(), lis.Stats())
+		}
+	}
+	if err := ps.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if lis.Stats().Resets.Load() == 0 {
+		t.Fatal("no RSTs fired — the test proved nothing")
+	}
+	if st.Retries.Load() == 0 {
+		t.Fatalf("stream never reconnected (%s) — faults did not reach it", st.String())
+	}
+	rep, err := s.Shutdown(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.LedgerExact {
+		t.Fatalf("ledger not exact: %+v", rep)
+	}
+	if rep.Accepted != confirmed {
+		t.Fatalf("server accepted %d, client confirmed %d — exactly-once violated", rep.Accepted, confirmed)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+}
+
+// TestPersistentStreamTerminalError: a non-retryable in-band failure (bad
+// node) must kill the stream and surface on Submit.
+func TestPersistentStreamTerminalError(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	cl := &Client{Base: ts.URL, HC: ts.Client()}
+	ps := cl.PersistentStream(0, streamPolicy(), nil)
+	defer ps.Close()
+	ctx := context.Background()
+	_, err := ps.Submit(ctx, []TaskSpec{{Node: uint32(s.g.NumNodes()) + 10}})
+	if err == nil {
+		t.Fatal("submit of out-of-range node succeeded")
+	}
+	if !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("error %v does not carry the server's line diagnosis", err)
+	}
+	// The stream is dead; later submits fail fast.
+	if _, err := ps.Submit(ctx, []TaskSpec{{Node: 1}}); err == nil {
+		t.Fatal("submit on a dead stream succeeded")
+	}
+}
+
+func TestStreamSubmitterFanout(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	cl := &Client{Base: ts.URL, HC: ts.Client()}
+	ctx := context.Background()
+	gen := RefreshGen(s.g.NumNodes(), 1)
+	base := s.accepted.Load()
+	sub, closer := cl.StreamSubmitter(ctx, 0, gen, 4, streamPolicy(), nil)
+	var total int64
+	for i := 0; i < 64; i++ {
+		acc, out, err := sub(50)
+		if err != nil || out != load.Accepted {
+			t.Fatalf("batch %d: outcome %v err %v", i, out, err)
+		}
+		total += int64(acc)
+	}
+	if err := closer.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.accepted.Load() - base; got != total || total != 64*50 {
+		t.Fatalf("server accepted %d, client %d, want %d", got, total, 64*50)
+	}
+}
